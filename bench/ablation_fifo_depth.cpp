@@ -1,0 +1,87 @@
+// Ablation: eFIFO depth vs throughput/latency vs resource cost.
+//
+// The eFIFO depths are the HyperConnect's main structural knob. Because the
+// eFIFO queues are proactive (always ready) and every stage moves one beat
+// per cycle, the pipeline sustains full rate without any buffering slack —
+// so the throughput column is expected to be FLAT across depths. That
+// insensitivity is the point: it supports the paper's slim-architecture
+// claim (no deep buffers needed for performance), while the resource model
+// shows what deeper queues would cost.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ha/dma_engine.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "resources/resources.hpp"
+#include "stats/table.hpp"
+
+namespace axihc {
+namespace {
+
+struct DepthResult {
+  double mbytes_per_s = 0;
+  Cycle read_latency_max = 0;
+  ResourceUsage usage;
+};
+
+DepthResult run_depth(std::size_t data_depth) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  cfg.port_link_cfg.r_depth = data_depth;
+  cfg.port_link_cfg.w_depth = data_depth;
+  cfg.master_link_cfg.r_depth = data_depth;
+  cfg.master_link_cfg.w_depth = data_depth;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store,
+                       bench::bench_mem_cfg());
+  hc.register_with(sim);
+  sim.add(mem);
+
+  DmaConfig dcfg;
+  dcfg.mode = DmaMode::kRead;
+  dcfg.bytes_per_job = 1u << 20;
+  dcfg.burst_beats = 16;
+  dcfg.max_outstanding = 8;
+  DmaEngine dma("dma", hc.port_link(0), dcfg);
+  sim.add(dma);
+  sim.reset();
+  sim.run(400000);
+
+  DepthResult res;
+  res.mbytes_per_s = bench::rate_meter().bytes_per_second(
+                         dma.stats().bytes_read, sim.now()) /
+                     1e6;
+  res.read_latency_max = dma.stats().read_latency.count() > 0
+                             ? dma.stats().read_latency.max()
+                             : 0;
+  res.usage = estimate_hyperconnect(cfg);
+  return res;
+}
+
+void run() {
+  std::cout << "==== Ablation: eFIFO data-queue depth ====\n\n";
+  Table t({"R/W depth", "read bandwidth (MB/s)", "max txn latency (cycles)",
+           "est. LUT", "est. FF"});
+  for (const std::size_t depth : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const DepthResult r = run_depth(depth);
+    t.add_row({std::to_string(depth), Table::num(r.mbytes_per_s, 1),
+               std::to_string(r.read_latency_max),
+               std::to_string(r.usage.lut), std::to_string(r.usage.ff)});
+  }
+  t.print_markdown(std::cout);
+  std::cout << "\nExpected shape: bandwidth and latency are INSENSITIVE to "
+               "depth — the matched\n1-beat/cycle pipeline never needs the "
+               "slack — while LUT cost grows linearly with\ndepth. Slim "
+               "queues are sufficient, which is exactly the architecture's "
+               "low-\nresource argument (Table I).\n";
+}
+
+}  // namespace
+}  // namespace axihc
+
+int main() {
+  axihc::run();
+  return 0;
+}

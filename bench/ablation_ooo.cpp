@@ -1,0 +1,109 @@
+// Ablation: out-of-order completion (the paper's future work, §V-A).
+//
+// Today's Zynq platforms serve memory transactions in order, so the
+// HyperConnect ships without out-of-order support. This bench quantifies
+// what the extension buys on a future platform: an FR-FCFS controller
+// (row hits may overtake misses across ports) behind the ID-extension
+// HyperConnect, for a row-friendly streamer sharing the bus with a
+// row-hostile scatter reader.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ha/traffic_gen.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "stats/table.hpp"
+
+namespace axihc {
+namespace {
+
+struct OooResult {
+  double total_mb_s = 0;
+  double stream_mb_s = 0;
+  double scatter_mb_s = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t row_hit_pct = 0;
+};
+
+OooResult run_mode(bool out_of_order) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  cfg.out_of_order = out_of_order;
+  HyperConnect hc("hc", cfg);
+  MemoryControllerConfig mc = bench::bench_mem_cfg();
+  if (out_of_order) {
+    mc.scheduling = MemScheduling::kFrFcfs;
+    mc.id_order_mask = 0xFFFF0000;
+  }
+  MemoryController mem("ddr", hc.master_link(), store, mc);
+  hc.register_with(sim);
+  sim.add(mem);
+
+  // Streamer: sequential 16-beat reads inside a small region (row hits).
+  TrafficConfig stream;
+  stream.direction = TrafficDirection::kRead;
+  stream.burst_beats = 16;
+  stream.base = 0x6000'0000;
+  stream.region_bytes = 4096;
+  stream.tolerate_out_of_order = true;
+  TrafficGenerator streamer("stream", hc.port_link(0), stream);
+
+  // Scatterer: 4-beat reads sweeping a huge region (row misses).
+  TrafficConfig scatter;
+  scatter.direction = TrafficDirection::kRead;
+  scatter.burst_beats = 4;
+  scatter.base = 0x4000'0000;
+  scatter.region_bytes = 64ull << 20;
+  scatter.tolerate_out_of_order = true;
+  TrafficGenerator scatterer("scatter", hc.port_link(1), scatter);
+
+  sim.add(streamer);
+  sim.add(scatterer);
+  sim.reset();
+  sim.run(400000);
+
+  OooResult r;
+  const RateMeter meter = bench::rate_meter();
+  r.stream_mb_s =
+      meter.bytes_per_second(streamer.stats().bytes_read, sim.now()) / 1e6;
+  r.scatter_mb_s =
+      meter.bytes_per_second(scatterer.stats().bytes_read, sim.now()) / 1e6;
+  r.total_mb_s = r.stream_mb_s + r.scatter_mb_s;
+  r.reordered = mem.reordered();
+  const auto hits = mem.row_hits();
+  const auto total = mem.row_hits() + mem.row_misses();
+  r.row_hit_pct = total ? 100 * hits / total : 0;
+  return r;
+}
+
+void run() {
+  std::cout << "==== Ablation: out-of-order completion (future-work "
+               "extension) ====\n\n";
+  Table t({"configuration", "total BW (MB/s)", "streamer (MB/s)",
+           "scatterer (MB/s)", "row-hit rate", "reordered txns"});
+  const OooResult in_order = run_mode(false);
+  const OooResult ooo = run_mode(true);
+  t.add_row({"in-order (today's platforms)", Table::num(in_order.total_mb_s, 1),
+             Table::num(in_order.stream_mb_s, 1),
+             Table::num(in_order.scatter_mb_s, 1),
+             std::to_string(in_order.row_hit_pct) + "%",
+             std::to_string(in_order.reordered)});
+  t.add_row({"FR-FCFS + ID-extension HC", Table::num(ooo.total_mb_s, 1),
+             Table::num(ooo.stream_mb_s, 1), Table::num(ooo.scatter_mb_s, 1),
+             std::to_string(ooo.row_hit_pct) + "%",
+             std::to_string(ooo.reordered)});
+  t.print_markdown(std::cout);
+  std::cout << "\nExpected shape: with FR-FCFS the streamer's row hits stop "
+               "waiting behind the\nscatterer's row misses — total bandwidth "
+               "and row-hit rate rise, per-port\nprotocol order is "
+               "preserved (see tests/test_ooo.cpp).\n";
+}
+
+}  // namespace
+}  // namespace axihc
+
+int main() {
+  axihc::run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: bandwidth reservation [10] — measured share vs configured share,
+// and the effect of the reservation period.
+//
+// Two greedy 16-beat masters; port 0's budget sweeps from 10% to 90% of the
+// window capacity (port 1 gets the rest). The measured byte share must track
+// the configured share (the staircase Fig. 5 exploits). A second sweep
+// varies the period at a fixed 70/30 split: shorter periods give finer
+// interleaving at the same long-run share.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ha/traffic_gen.hpp"
+#include "hypervisor/domain.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "stats/table.hpp"
+
+namespace axihc {
+namespace {
+
+constexpr double kCyclesPerTxn = 27.0;
+
+double measured_share(Cycle period, double share0) {
+  Simulator sim;
+  BackingStore store;
+  const ReservationPlan plan =
+      plan_bandwidth_split(period, kCyclesPerTxn, {share0, 1.0 - share0});
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  cfg.reservation_period = plan.period;
+  cfg.initial_budgets = plan.budgets;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store,
+                       bench::bench_mem_cfg());
+  hc.register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig t;
+  t.direction = TrafficDirection::kRead;
+  t.burst_beats = 16;
+  t.base = 0x4000'0000;
+  TrafficGenerator g0("g0", hc.port_link(0), t);
+  t.base = 0x6000'0000;
+  TrafficGenerator g1("g1", hc.port_link(1), t);
+  sim.add(g0);
+  sim.add(g1);
+  sim.reset();
+  sim.run(400000);
+
+  const double a = static_cast<double>(g0.stats().bytes_read);
+  const double b = static_cast<double>(g1.stats().bytes_read);
+  return a / (a + b);
+}
+
+void run() {
+  std::cout << "==== Ablation: reservation budgets ====\n\n";
+  std::cout << "Configured vs measured bandwidth share (period 2000):\n\n";
+  Table t({"configured share (port 0)", "measured share", "error"});
+  for (const double share : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double m = measured_share(2000, share);
+    t.add_row({Table::num(100 * share, 0) + "%",
+               Table::num(100 * m, 1) + "%",
+               Table::num(100 * (m - share), 1) + " pp"});
+  }
+  t.print_markdown(std::cout);
+
+  std::cout << "\nPeriod sweep at a 70/30 split:\n\n";
+  Table p({"period (cycles)", "measured share (port 0)"});
+  for (const Cycle period : {500u, 1000u, 2000u, 8000u, 32000u}) {
+    p.add_row({std::to_string(period),
+               Table::num(100 * measured_share(period, 0.7), 1) + "%"});
+  }
+  p.print_markdown(std::cout);
+  std::cout << "\nExpected shape: measured share tracks the configured "
+               "share within a few points\n(quantization of budgets to "
+               "whole transactions explains the residual), stable\nacross "
+               "periods.\n";
+}
+
+}  // namespace
+}  // namespace axihc
+
+int main() {
+  axihc::run();
+  return 0;
+}

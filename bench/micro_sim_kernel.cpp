@@ -1,0 +1,96 @@
+// Microbenchmarks of the simulation kernel itself (google-benchmark):
+// channel hop cost, simulator step cost, full 2-port HyperConnect system
+// cycles/second. These guard the simulator's own performance so the
+// reproduction benches stay fast.
+#include <benchmark/benchmark.h>
+
+#include "ha/dma_engine.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace axihc {
+namespace {
+
+void BM_ChannelPushPop(benchmark::State& state) {
+  TimingChannel<AddrReq> ch("ch", 8);
+  ch.commit();
+  AddrReq req;
+  for (auto _ : state) {
+    ch.push(req);
+    ch.commit();
+    benchmark::DoNotOptimize(ch.pop());
+    ch.commit();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void BM_SimulatorStepEmpty(benchmark::State& state) {
+  Simulator sim;
+  std::vector<std::unique_ptr<TimingChannel<int>>> chans;
+  for (int i = 0; i < state.range(0); ++i) {
+    chans.push_back(
+        std::make_unique<TimingChannel<int>>("c" + std::to_string(i), 4));
+    sim.add(*chans.back());
+  }
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorStepEmpty)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_HyperConnectSystemCycle(benchmark::State& state) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = static_cast<std::uint32_t>(state.range(0));
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+
+  std::vector<std::unique_ptr<DmaEngine>> dmas;
+  for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+    DmaConfig d;
+    d.mode = DmaMode::kReadWrite;
+    d.bytes_per_job = 1u << 20;
+    dmas.push_back(std::make_unique<DmaEngine>("dma" + std::to_string(p),
+                                               hc.port_link(p), d));
+    sim.add(*dmas.back());
+  }
+  sim.reset();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HyperConnectSystemCycle)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DmaJobThroughHyperConnect(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    BackingStore store;
+    HyperConnectConfig cfg;
+    cfg.num_ports = 2;
+    HyperConnect hc("hc", cfg);
+    MemoryController mem("ddr", hc.master_link(), store, {});
+    hc.register_with(sim);
+    sim.add(mem);
+    DmaConfig d;
+    d.mode = DmaMode::kRead;
+    d.bytes_per_job = 64 << 10;
+    d.max_jobs = 1;
+    DmaEngine dma("dma", hc.port_link(0), d);
+    sim.add(dma);
+    sim.reset();
+    sim.run_until([&] { return dma.finished(); }, 10'000'000);
+    benchmark::DoNotOptimize(dma.jobs_completed());
+  }
+}
+BENCHMARK(BM_DmaJobThroughHyperConnect)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace axihc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Analytical worst-case bounds vs observed worst cases — the analysis the
+// paper declares possible ("the proposed architecture makes AXI
+// HyperConnect prone to worst-case timing analysis", §V-B) carried out and
+// validated against the cycle-accurate model.
+#include <iostream>
+#include <memory>
+
+#include "analysis/wcla.hpp"
+#include "bench_common.hpp"
+#include "ha/traffic_gen.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "interconnect/smartconnect.hpp"
+#include "stats/table.hpp"
+
+namespace axihc {
+namespace {
+
+Cycle observe(std::unique_ptr<Interconnect> icn, BeatCount victim_beats,
+              BeatCount adversary_beats) {
+  Simulator sim;
+  BackingStore store;
+  MemoryController mem("ddr", icn->master_link(), store,
+                       bench::bench_mem_cfg());
+  icn->register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig vcfg;
+  vcfg.direction = TrafficDirection::kRead;
+  vcfg.burst_beats = victim_beats;
+  vcfg.gap_cycles = 97;
+  vcfg.max_outstanding = 1;
+  vcfg.base = 0x4000'0000;
+  TrafficGenerator victim("victim", icn->port_link(0), vcfg);
+  sim.add(victim);
+
+  std::vector<std::unique_ptr<TrafficGenerator>> advs;
+  for (PortIndex p = 1; p < icn->num_ports(); ++p) {
+    TrafficConfig a;
+    a.direction = TrafficDirection::kRead;
+    a.burst_beats = adversary_beats;
+    a.max_outstanding = 4;
+    a.base = 0x6000'0000 + (static_cast<Addr>(p) << 24);
+    advs.push_back(std::make_unique<TrafficGenerator>(
+        "adv" + std::to_string(p), icn->port_link(p), a));
+    sim.add(*advs.back());
+  }
+  sim.reset();
+  sim.run(400000);
+  return victim.stats().read_latency.count() ? victim.stats().read_latency.max()
+                                             : 0;
+}
+
+void run() {
+  std::cout << "==== Worst-case latency analysis vs observation ====\n\n";
+  const MemoryControllerConfig mc = bench::bench_mem_cfg();
+  AnalysisPlatform hc_p;
+  hc_p.mem_latency = mc.row_miss_latency;
+  hc_p.turnaround = mc.turnaround;
+  AnalysisPlatform sc_p = hc_p;
+  sc_p.ar_latency = 12;
+  sc_p.r_latency = 11;
+
+  Table t({"scenario", "victim read", "observed worst (cyc)",
+           "analytical bound (cyc)", "bound/observed"});
+
+  struct Case {
+    std::uint32_t ports;
+    BeatCount victim;
+    BeatCount adversary;
+  };
+  for (const Case c : {Case{2, 16, 16}, Case{2, 16, 256}, Case{4, 16, 16},
+                       Case{2, 64, 16}}) {
+    HyperConnectConfig cfg;
+    cfg.num_ports = c.ports;
+    cfg.nominal_burst = 16;
+    cfg.max_outstanding = 4;
+    const Cycle obs = observe(std::make_unique<HyperConnect>("hc", cfg),
+                              c.victim, c.adversary);
+    HcAnalysisConfig a;
+    a.num_ports = c.ports;
+    a.nominal_burst = 16;
+    a.competitor_backlog = 4;
+    const Cycle bound = wcrt_read(a, hc_p, 0, c.victim);
+    t.add_row({"HC N=" + std::to_string(c.ports) + " adv " +
+                   std::to_string(c.adversary) + "-beat",
+               std::to_string(c.victim) + " beats", std::to_string(obs),
+               std::to_string(bound),
+               Table::num(static_cast<double>(bound) /
+                              static_cast<double>(obs),
+                          2)});
+  }
+
+  // SmartConnect: the bound must cover unequalized 256-beat interference at
+  // granularity up to 4 — an order of magnitude worse.
+  {
+    SmartConnectConfig cfg;
+    cfg.grant_granularity = 4;
+    const Cycle obs = observe(std::make_unique<SmartConnect>("sc", 2, cfg),
+                              16, 256);
+    const Cycle bound = smartconnect_wcrt_read(sc_p, 2, 4, 256, 16);
+    t.add_row({"SC g=4 adv 256-beat", "16 beats", std::to_string(obs),
+               std::to_string(bound),
+               Table::num(static_cast<double>(bound) /
+                              static_cast<double>(obs),
+                          2)});
+  }
+  t.print_markdown(std::cout);
+  std::cout << "\nAll bounds dominate the observed worst case (soundness); "
+               "the HyperConnect's\nbound is an order of magnitude below "
+               "the SmartConnect's because equalization\ncaps competitor "
+               "units and the EXBAR fixes the round-robin granularity.\n";
+}
+
+}  // namespace
+}  // namespace axihc
+
+int main() {
+  axihc::run();
+  return 0;
+}

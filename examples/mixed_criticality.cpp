@@ -1,0 +1,113 @@
+// Mixed-criticality integration story (§IV of the paper), end to end:
+//
+//   1. Two applications hand their accelerators to the system integrator as
+//      IP-XACT descriptions: a high-criticality vision pipeline (DNN) and a
+//      low-criticality logging DMA.
+//   2. The integrator builds the SoC design (port assignment, domains).
+//   3. The hypervisor programs the HyperConnect over the control bus:
+//      90% of the bus to the vision domain, 10% to logging, and arms a
+//      watchdog policing the logging HA.
+//   4. The logging HA misbehaves (floods the bus); the watchdog detects the
+//      overrun and decouples it; the vision pipeline keeps its guarantees.
+#include <iostream>
+
+#include "driver/hyperconnect_driver.hpp"
+#include "ha/dnn_accelerator.hpp"
+#include "ha/traffic_gen.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "hypervisor/integrator.hpp"
+#include "ipxact/ipxact.hpp"
+#include "soc/soc.hpp"
+
+int main() {
+  using namespace axihc;
+
+  // --- integration phase (offline) --------------------------------------
+  SystemIntegrator integrator;
+  integrator.add_accelerator({describe_accelerator("dnn_vision", "acme.com"),
+                              "vision", Criticality::kHigh, 0.9});
+  integrator.add_accelerator({describe_accelerator("log_dma", "acme.com"),
+                              "logging", Criticality::kLow, 0.1});
+
+  HyperConnectConfig hc_cfg;
+  hc_cfg.num_ports = 2;
+  const SocDesign design = integrator.integrate(hc_cfg);
+  std::cout << "Integrated design with interconnect "
+            << design.interconnect.vlnv() << "\n";
+  for (PortIndex p = 0; p < design.port_assignment.size(); ++p) {
+    std::cout << "  port " << p << " <- " << design.port_assignment[p]
+              << "\n";
+  }
+  std::cout << "IP-XACT export:\n"
+            << to_ipxact_xml(design.interconnect).substr(0, 280)
+            << "  ...\n\n";
+
+  // --- deployment --------------------------------------------------------
+  SocConfig cfg;
+  cfg.kind = InterconnectKind::kHyperConnect;
+  cfg.num_ports = 2;
+  cfg.hc = hc_cfg;
+  SocSystem soc(cfg);
+  HyperConnect* hc = soc.hyperconnect();
+
+  DnnConfig dnn_cfg;
+  dnn_cfg.layers = googlenet_layers();
+  for (auto& l : dnn_cfg.layers) {  // scaled for a quick demo
+    l.weight_bytes /= 16;
+    l.ifmap_bytes /= 16;
+    l.ofmap_bytes /= 16;
+    l.macs /= 16;
+  }
+  DnnAccelerator dnn("dnn_vision", soc.port(0), dnn_cfg);
+  TrafficGenerator logger("log_dma", soc.port(1),
+                          TrafficGenerator::bandwidth_stealer(0x6000'0000));
+
+  RegisterMaster rm("rm", hc->control_link());
+  HyperConnectDriver driver(rm, 2);
+  Hypervisor hv("hypervisor", driver);
+  for (const Domain& d : design.domains) hv.add_domain(d);
+
+  soc.add(dnn);
+  soc.add(logger);
+  soc.add(rm);
+  soc.add(hv);
+  soc.sim().reset();
+
+  // Hypervisor programs the reservation (90/10) and arms the watchdog.
+  // Policy: a *logging* HA is expected to be sporadic — at most 10
+  // transactions per 5000-cycle poll. A stealer that continuously burns
+  // even its small 10% reservation is misbehaving and gets decoupled.
+  hv.configure_reservation(/*period=*/2000, /*cycles_per_txn=*/27.0);
+  WatchdogPolicy policy;
+  policy.poll_period = 5000;
+  policy.max_txns_per_poll = {0, 10};
+  hv.set_watchdog(policy);
+  soc.sim().run_until([&] { return driver.idle(); }, 10'000);
+  std::cout << "Hypervisor configured: period="
+            << hc->runtime().reservation_period << " budgets={"
+            << hc->runtime().budgets[0] << "," << hc->runtime().budgets[1]
+            << "}\n";
+
+  // --- run: the logger goes rogue, the watchdog reacts -------------------
+  soc.sim().run(1'500'000);
+
+  std::cout << "\nAfter 1.5M cycles (10 ms at 150 MHz):\n";
+  std::cout << "  vision DNN frames completed: " << dnn.frames_completed()
+            << " (" << dnn.stats().bytes_read / 1024 << " KB read)\n";
+  std::cout << "  logger bytes read: " << logger.stats().bytes_read / 1024
+            << " KB\n";
+  if (!hv.isolation_events().empty()) {
+    const IsolationEvent& e = hv.isolation_events().front();
+    std::cout << "  watchdog: port " << e.port << " decoupled at cycle "
+              << e.cycle << " (observed " << e.observed_txns
+              << " txns, allowed " << e.allowed_txns << ")\n";
+  } else {
+    std::cout << "  watchdog: no intervention (unexpected for this demo)\n";
+  }
+  std::cout << "  logger coupled: " << std::boolalpha
+            << hc->runtime().coupled[1]
+            << "  — the faulty HA is cut off from the memory subsystem,\n"
+               "    while the vision domain kept running under its 90% "
+               "reservation.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: build the paper's Figure-1 system — two DMA accelerators
+// sharing one AXI HyperConnect in front of the DRAM controller — run it,
+// and print what happened.
+//
+//   $ ./quickstart
+//
+// Walks through the three things every user of this library does:
+//   1. assemble a SocSystem (simulator + interconnect + memory),
+//   2. attach hardware-accelerator models to the interconnect ports,
+//   3. run the clock and read the statistics.
+#include <iostream>
+
+#include "ha/dma_engine.hpp"
+#include "soc/soc.hpp"
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace axihc;
+
+  // 1. The platform: a 2-port AXI HyperConnect with bandwidth reservation
+  //    enabled (2000-cycle windows; 30 transactions for HA0, 15 for HA1),
+  //    in front of an open-row DRAM controller model.
+  SocConfig cfg;
+  cfg.kind = InterconnectKind::kHyperConnect;
+  cfg.num_ports = 2;
+  cfg.hc.nominal_burst = 16;       // equalize bursts to 16 beats [11]
+  cfg.hc.reservation_period = 2000;  // reservation window T [10]
+  cfg.hc.initial_budgets = {30, 15};  // sums below the ~72-txn window capacity
+  SocSystem soc(cfg);
+
+  // 2. Two DMA engines, as in the paper's §VI-B: each one reads and writes
+  //    256 KB per job, looping forever.
+  DmaConfig dma_cfg;
+  dma_cfg.mode = DmaMode::kReadWrite;
+  dma_cfg.bytes_per_job = 256 << 10;
+  dma_cfg.burst_beats = 16;
+  DmaEngine dma0("dma0", soc.port(0), dma_cfg);
+  dma_cfg.read_base = 0x5000'0000;
+  dma_cfg.write_base = 0x6000'0000;
+  DmaEngine dma1("dma1", soc.port(1), dma_cfg);
+  soc.add(dma0);
+  soc.add(dma1);
+
+  // 3. Run one million fabric cycles (6.7 ms at 150 MHz) and report.
+  soc.sim().reset();
+  soc.sim().run(1'000'000);
+
+  const RateMeter meter(150e6);
+  std::cout << "AXI HyperConnect quickstart — 1,000,000 cycles @150 MHz\n\n";
+  Table t({"HA", "jobs done", "bytes read", "bytes written",
+           "read BW (MB/s)", "max read latency (cyc)"});
+  for (const DmaEngine* dma : {&dma0, &dma1}) {
+    const MasterStats& s = dma->stats();
+    t.add_row({dma->name(), std::to_string(dma->jobs_completed()),
+               std::to_string(s.bytes_read), std::to_string(s.bytes_written),
+               Table::num(meter.bytes_per_second(s.bytes_read,
+                                                 soc.sim().now()) / 1e6, 1),
+               std::to_string(s.read_latency.max())});
+  }
+  t.print_markdown(std::cout);
+
+  const HyperConnect* hc = soc.hyperconnect();
+  std::cout << "\nInterconnect: " << hc->recharges()
+            << " budget recharges; per-port sub-transactions: "
+            << hc->supervisor(0).subtransactions_issued() << " / "
+            << hc->supervisor(1).subtransactions_issued()
+            << " (2:1, tracking the 30:15 budgets)\n";
+  std::cout << "\nNext: examples/mixed_criticality, examples/dnn_inference, "
+               "examples/runtime_reconfig.\n";
+  return 0;
+}

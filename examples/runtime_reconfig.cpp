@@ -1,0 +1,98 @@
+// Runtime reconfiguration (§V-A): changing the HyperConnect's behaviour
+// from the PS while traffic is flowing — something the static SmartConnect
+// cannot do at all.
+//
+// Timeline of this demo (single run, one system):
+//   phase 1: two DMAs share the bus with no reservation (≈50/50);
+//   phase 2: the driver programs a 75/25 budget split over the control bus;
+//   phase 3: the split is flipped to 25/75 live;
+//   phase 4: port 1 is decoupled (as around dynamic partial
+//            reconfiguration), traffic continues on port 0 alone;
+//   phase 5: port 1 is recoupled and service resumes.
+#include <iostream>
+
+#include "driver/hyperconnect_driver.hpp"
+#include "ha/dma_engine.hpp"
+#include "soc/soc.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+struct PhaseSample {
+  std::uint64_t bytes0 = 0;
+  std::uint64_t bytes1 = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace axihc;
+
+  SocConfig cfg;
+  cfg.kind = InterconnectKind::kHyperConnect;
+  cfg.num_ports = 2;
+  SocSystem soc(cfg);
+  HyperConnect* hc = soc.hyperconnect();
+
+  DmaConfig d;
+  d.mode = DmaMode::kRead;
+  d.bytes_per_job = 1u << 20;
+  DmaEngine dma0("dma0", soc.port(0), d);
+  d.read_base = 0x5000'0000;
+  DmaEngine dma1("dma1", soc.port(1), d);
+  RegisterMaster rm("rm", hc->control_link());
+  HyperConnectDriver driver(rm, 2);
+  soc.add(dma0);
+  soc.add(dma1);
+  soc.add(rm);
+  soc.sim().reset();
+
+  auto run_phase = [&](const std::string& name, Cycle cycles) {
+    const std::uint64_t b0 = dma0.stats().bytes_read;
+    const std::uint64_t b1 = dma1.stats().bytes_read;
+    soc.sim().run(cycles);
+    const double n0 = static_cast<double>(dma0.stats().bytes_read - b0);
+    const double n1 = static_cast<double>(dma1.stats().bytes_read - b1);
+    const double total = n0 + n1;
+    std::cout << "  " << name << ": dma0 "
+              << Table::num(total > 0 ? 100 * n0 / total : 0, 1)
+              << "% / dma1 "
+              << Table::num(total > 0 ? 100 * n1 / total : 0, 1)
+              << "%  (" << static_cast<std::uint64_t>(total) / 1024
+              << " KB moved)\n";
+  };
+  auto settle = [&] {
+    soc.sim().run_until([&] { return driver.idle(); }, 10'000);
+  };
+
+  std::cout << "Runtime reconfiguration demo (bandwidth split per phase):\n";
+
+  run_phase("phase 1  no reservation        ", 150'000);
+
+  driver.apply_reservation(2000, {54, 18});  // 75/25 of ~72 txn/window
+  settle();
+  run_phase("phase 2  75/25 budgets         ", 150'000);
+
+  driver.set_budget(0, 18);
+  driver.set_budget(1, 54);
+  settle();
+  run_phase("phase 3  flipped to 25/75      ", 150'000);
+
+  driver.set_coupled(1, false);  // decouple around partial reconfiguration
+  settle();
+  run_phase("phase 4  port 1 decoupled (DPR)", 150'000);
+
+  // After partial reconfiguration the region holds a fresh accelerator:
+  // reset the HA model before recoupling (its pre-decouple in-flight state
+  // was flushed/grounded by the HyperConnect).
+  dma1.reset();
+  driver.set_coupled(1, true);
+  driver.set_reservation_period(0);  // reservation off again
+  settle();
+  run_phase("phase 5  recoupled, no limits  ", 150'000);
+
+  std::cout << "\nAll five transitions happened live, through the "
+               "memory-mapped control\ninterface — no re-synthesis, no "
+               "traffic loss on the untouched port.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// AXI register-slice bridge: forwards all five channels between two links,
+// one beat per channel per cycle, adding one pipeline stage per hop.
+//
+// Used to compose topologies the paper's Figure 1 hints at (and real SoC
+// designs use): cascading interconnects (an upstream HyperConnect feeding a
+// port of a downstream one), inserting monitors, or simply closing timing
+// with an extra register stage.
+#pragma once
+
+#include "axi/axi.hpp"
+#include "sim/component.hpp"
+
+namespace axihc {
+
+class AxiBridge final : public Component {
+ public:
+  /// Forwards master-side traffic from `upstream` to `downstream` and
+  /// responses back.
+  AxiBridge(std::string name, AxiLink& upstream, AxiLink& downstream);
+
+  void tick(Cycle now) override;
+
+ private:
+  AxiLink& up_;
+  AxiLink& down_;
+};
+
+}  // namespace axihc

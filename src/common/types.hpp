@@ -1,0 +1,35 @@
+// Fundamental scalar types shared by every module of the AXI HyperConnect
+// simulation library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace axihc {
+
+/// Simulation time, in clock cycles of the FPGA-fabric clock domain.
+using Cycle = std::uint64_t;
+
+/// Byte address on the AXI bus (the paper's platforms use 32/40-bit physical
+/// addresses; 64 bits cover both).
+using Addr = std::uint64_t;
+
+/// AXI transaction identifier (the AxID signal).
+using TxnId = std::uint32_t;
+
+/// Index of a slave input port on an interconnect (which HA it serves).
+using PortIndex = std::uint32_t;
+
+/// Number of data beats in a burst (AXI4 INCR allows 1..256).
+using BeatCount = std::uint32_t;
+
+/// Sentinel for "no cycle recorded yet".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Maximum burst length allowed by AXI4 for INCR bursts.
+inline constexpr BeatCount kMaxAxi4BurstBeats = 256;
+
+/// Maximum burst length allowed by AXI3.
+inline constexpr BeatCount kMaxAxi3BurstBeats = 16;
+
+}  // namespace axihc

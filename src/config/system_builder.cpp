@@ -1,0 +1,204 @@
+#include "config/system_builder.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "stats/table.hpp"
+
+namespace axihc {
+
+namespace {
+
+Platform platform_by_name(const std::string& name) {
+  if (name == "zcu102") return zcu102_platform();
+  if (name == "zynq7020") return zynq7020_platform();
+  AXIHC_CHECK_MSG(false, "unknown platform '" << name
+                                              << "' (zcu102 | zynq7020)");
+  return zcu102_platform();
+}
+
+DmaMode dma_mode_by_name(const std::string& name) {
+  if (name == "read") return DmaMode::kRead;
+  if (name == "write") return DmaMode::kWrite;
+  if (name == "readwrite") return DmaMode::kReadWrite;
+  if (name == "copy") return DmaMode::kCopy;
+  AXIHC_CHECK_MSG(false, "unknown dma mode '"
+                             << name << "' (read | write | readwrite | copy)");
+  return DmaMode::kRead;
+}
+
+TrafficDirection direction_by_name(const std::string& name) {
+  if (name == "read") return TrafficDirection::kRead;
+  if (name == "write") return TrafficDirection::kWrite;
+  if (name == "mixed") return TrafficDirection::kMixed;
+  AXIHC_CHECK_MSG(false, "unknown traffic direction '"
+                             << name << "' (read | write | mixed)");
+  return TrafficDirection::kRead;
+}
+
+std::vector<DnnLayer> network_by_name(const std::string& name) {
+  if (name == "googlenet") return googlenet_layers();
+  if (name == "alexnet") return alexnet_layers();
+  AXIHC_CHECK_MSG(false,
+                  "unknown network '" << name << "' (googlenet | alexnet)");
+  return {};
+}
+
+}  // namespace
+
+ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
+  const IniSection* system = ini.section("system");
+  AXIHC_CHECK_MSG(system != nullptr, "config needs a [system] section");
+
+  platform_ = platform_by_name(system->get_string("platform", "zcu102"));
+  configured_cycles_ = system->get_u64("cycles", 1'000'000);
+
+  SocConfig cfg;
+  const std::string icn = system->get_string("interconnect", "hyperconnect");
+  if (icn == "hyperconnect") {
+    cfg.kind = InterconnectKind::kHyperConnect;
+  } else if (icn == "smartconnect") {
+    cfg.kind = InterconnectKind::kSmartConnect;
+  } else {
+    AXIHC_CHECK_MSG(false, "unknown interconnect '"
+                               << icn
+                               << "' (hyperconnect | smartconnect)");
+  }
+  cfg.num_ports =
+      static_cast<std::uint32_t>(system->get_u64("ports", 2));
+  cfg.mem = platform_.mem;
+
+  if (const IniSection* hc = ini.section("hyperconnect")) {
+    cfg.hc.nominal_burst =
+        static_cast<BeatCount>(hc->get_u64("nominal_burst", 16));
+    cfg.hc.max_outstanding =
+        static_cast<std::uint32_t>(hc->get_u64("max_outstanding", 4));
+    cfg.hc.reservation_period = hc->get_u64("reservation_period", 0);
+    cfg.hc.initial_budgets = hc->get_u32_list("budgets");
+    cfg.hc.out_of_order = hc->get_bool("out_of_order", false);
+    if (hc->get_string("arbitration", "round_robin") == "qos_priority") {
+      cfg.hc.arbitration = ArbitrationPolicy::kQosPriority;
+    }
+    if (cfg.hc.out_of_order) {
+      cfg.mem.scheduling = MemScheduling::kFrFcfs;
+      cfg.mem.id_order_mask = 0xFFFF0000;
+    }
+  }
+
+  soc_ = std::make_unique<SocSystem>(cfg);
+
+  const auto ha_sections = ini.sections_with_prefix("ha");
+  AXIHC_CHECK_MSG(!ha_sections.empty(),
+                  "config needs at least one [haN] section");
+  AXIHC_CHECK_MSG(ha_sections.size() <= cfg.num_ports,
+                  "more [haN] sections (" << ha_sections.size()
+                                          << ") than interconnect ports ("
+                                          << cfg.num_ports << ")");
+  for (PortIndex port = 0; port < ha_sections.size(); ++port) {
+    add_ha(*ha_sections[port], port);
+  }
+  soc_->sim().reset();
+}
+
+void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
+  const std::string type = section.get_string("type", "");
+  const std::string name = section.name();
+  const bool ooo = soc_->config().kind == InterconnectKind::kHyperConnect &&
+                   soc_->config().hc.out_of_order;
+
+  if (type == "dma") {
+    DmaConfig cfg;
+    cfg.mode = dma_mode_by_name(section.get_string("mode", "readwrite"));
+    cfg.bytes_per_job = section.get_u64("bytes_per_job", 1u << 20);
+    cfg.burst_beats = static_cast<BeatCount>(section.get_u64("burst", 16));
+    cfg.max_outstanding =
+        static_cast<std::uint32_t>(section.get_u64("outstanding", 8));
+    cfg.max_jobs = section.get_u64("max_jobs", 0);
+    cfg.read_base = section.get_u64("read_base", 0x1000'0000 +
+                                                     (Addr{port} << 26));
+    cfg.write_base = section.get_u64("write_base", 0x2000'0000 +
+                                                       (Addr{port} << 26));
+    cfg.tolerate_out_of_order = ooo;
+    masters_.push_back(
+        std::make_unique<DmaEngine>(name, soc_->port(port), cfg));
+  } else if (type == "traffic") {
+    TrafficConfig cfg;
+    cfg.direction = direction_by_name(section.get_string("direction", "read"));
+    cfg.burst_beats = static_cast<BeatCount>(section.get_u64("burst", 16));
+    cfg.gap_cycles = section.get_u64("gap", 0);
+    cfg.max_outstanding =
+        static_cast<std::uint32_t>(section.get_u64("outstanding", 8));
+    cfg.qos = static_cast<std::uint8_t>(section.get_u64("qos", 0));
+    cfg.base = section.get_u64("base", 0x4000'0000 + (Addr{port} << 26));
+    cfg.tolerate_out_of_order = ooo;
+    masters_.push_back(
+        std::make_unique<TrafficGenerator>(name, soc_->port(port), cfg));
+  } else if (type == "dnn") {
+    DnnConfig cfg;
+    cfg.layers = network_by_name(section.get_string("network", "googlenet"));
+    const std::uint64_t scale = section.get_u64("scale", 1);
+    AXIHC_CHECK_MSG(scale >= 1, "[" << name << "] scale must be >= 1");
+    for (auto& l : cfg.layers) {
+      l.weight_bytes /= scale;
+      l.ifmap_bytes /= scale;
+      l.ofmap_bytes /= scale;
+      l.macs /= scale;
+    }
+    cfg.macs_per_cycle = section.get_u64("macs_per_cycle", 256);
+    cfg.max_frames = section.get_u64("max_frames", 0);
+    cfg.tolerate_out_of_order = ooo;
+    masters_.push_back(
+        std::make_unique<DnnAccelerator>(name, soc_->port(port), cfg));
+  } else {
+    AXIHC_CHECK_MSG(false, "[" << name << "] unknown HA type '" << type
+                               << "' (dma | traffic | dnn)");
+  }
+  ha_types_.push_back(type);
+  soc_->add(*masters_.back());
+}
+
+Cycle ConfiguredSystem::run(Cycle override_cycles) {
+  const Cycle cycles =
+      override_cycles != 0 ? override_cycles : configured_cycles_;
+  soc_->sim().run(cycles);
+  return soc_->sim().now();
+}
+
+const AxiMasterBase& ConfiguredSystem::ha(std::size_t i) const {
+  AXIHC_CHECK(i < masters_.size());
+  return *masters_[i];
+}
+
+const std::string& ConfiguredSystem::ha_type(std::size_t i) const {
+  AXIHC_CHECK(i < ha_types_.size());
+  return ha_types_[i];
+}
+
+std::string ConfiguredSystem::report() const {
+  const Cycle now = soc_->sim().now();
+  const RateMeter meter = platform_.rate_meter();
+  std::ostringstream os;
+  os << "platform: " << platform_.name << ", " << now << " cycles ("
+     << Table::num(meter.to_us(now) / 1000.0, 2) << " ms)\n\n";
+
+  Table t({"HA", "type", "bytes read", "bytes written", "read BW (MB/s)",
+           "write BW (MB/s)", "max read lat (cyc)"});
+  for (std::size_t i = 0; i < masters_.size(); ++i) {
+    const MasterStats& s = masters_[i]->stats();
+    t.add_row(
+        {masters_[i]->name(), ha_types_[i], std::to_string(s.bytes_read),
+         std::to_string(s.bytes_written),
+         Table::num(meter.bytes_per_second(s.bytes_read, now) / 1e6, 1),
+         Table::num(meter.bytes_per_second(s.bytes_written, now) / 1e6, 1),
+         s.read_latency.count() ? std::to_string(s.read_latency.max())
+                                : "-"});
+  }
+  t.print_markdown(os);
+  return os.str();
+}
+
+std::unique_ptr<ConfiguredSystem> build_system(const std::string& ini_text) {
+  return std::make_unique<ConfiguredSystem>(IniFile::parse(ini_text));
+}
+
+}  // namespace axihc

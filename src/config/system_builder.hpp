@@ -1,0 +1,76 @@
+// Builds a complete runnable system from an INI experiment description —
+// the engine behind the axihc CLI (tools/axihc.cpp). Lets users run
+// interconnect experiments without writing C++:
+//
+//   [system]
+//   interconnect = hyperconnect      ; hyperconnect | smartconnect
+//   platform = zcu102                ; zcu102 | zynq7020
+//   ports = 2
+//   cycles = 1000000
+//
+//   [hyperconnect]                   ; optional, defaults shown
+//   nominal_burst = 16
+//   max_outstanding = 4
+//   reservation_period = 2000
+//   budgets = 40 20
+//
+//   [ha0]
+//   type = dma                       ; dma | traffic | dnn
+//   mode = readwrite                 ; dma: read | write | readwrite | copy
+//   bytes_per_job = 1048576
+//   burst = 16
+//
+//   [ha1]
+//   type = dnn
+//   network = googlenet              ; googlenet | alexnet
+//   scale = 16
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/ini.hpp"
+#include "ha/dma_engine.hpp"
+#include "ha/dnn_accelerator.hpp"
+#include "ha/traffic_gen.hpp"
+#include "platform/platform.hpp"
+#include "soc/soc.hpp"
+
+namespace axihc {
+
+/// A fully-assembled experiment: the SoC plus the configured HAs, ready to
+/// run. Owns everything.
+class ConfiguredSystem {
+ public:
+  explicit ConfiguredSystem(const IniFile& ini);
+
+  /// Runs for the configured [system] cycles (or `override_cycles` if
+  /// nonzero) and returns the simulated cycle count.
+  Cycle run(Cycle override_cycles = 0);
+
+  [[nodiscard]] SocSystem& soc() { return *soc_; }
+  [[nodiscard]] const Platform& platform() const { return platform_; }
+  [[nodiscard]] std::size_t ha_count() const { return masters_.size(); }
+  [[nodiscard]] const AxiMasterBase& ha(std::size_t i) const;
+  [[nodiscard]] const std::string& ha_type(std::size_t i) const;
+
+  /// Renders the per-HA statistics table (markdown).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  void add_ha(const IniSection& section, PortIndex port);
+
+  Platform platform_;
+  Cycle configured_cycles_ = 1'000'000;
+  std::unique_ptr<SocSystem> soc_;
+  std::vector<std::unique_ptr<AxiMasterBase>> masters_;
+  std::vector<std::string> ha_types_;
+};
+
+/// Parses + builds in one call (throws ModelError with a line/section
+/// message on bad configs).
+[[nodiscard]] std::unique_ptr<ConfiguredSystem> build_system(
+    const std::string& ini_text);
+
+}  // namespace axihc

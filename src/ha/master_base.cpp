@@ -1,0 +1,178 @@
+#include "ha/master_base.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace axihc {
+
+AxiMasterBase::AxiMasterBase(std::string name, AxiLink& link,
+                             std::uint32_t max_outstanding_reads,
+                             std::uint32_t max_outstanding_writes,
+                             bool allow_out_of_order)
+    : Component(std::move(name)),
+      link_(link),
+      max_or_(max_outstanding_reads),
+      max_ow_(max_outstanding_writes),
+      allow_ooo_(allow_out_of_order) {
+  AXIHC_CHECK(max_or_ > 0);
+  AXIHC_CHECK(max_ow_ > 0);
+}
+
+void AxiMasterBase::reset() {
+  next_id_ = 1;
+  reads_in_flight_.clear();
+  writes_in_flight_.clear();
+  w_backlog_.clear();
+  stats_ = MasterStats{};
+  reset_master();
+}
+
+TxnId AxiMasterBase::next_id() {
+  const TxnId id = next_id_;
+  next_id_ = (next_id_ + 1) % kIdLimit;
+  if (next_id_ == 0) next_id_ = 1;
+  return id;
+}
+
+bool AxiMasterBase::can_issue_read() const {
+  return link_.ar.can_push() && reads_in_flight_.size() < max_or_;
+}
+
+void AxiMasterBase::issue_read(Addr addr, BeatCount beats, Cycle now) {
+  AXIHC_CHECK(can_issue_read());
+  AddrReq req;
+  req.id = next_id();
+  req.addr = addr;
+  req.beats = beats;
+  req.size_log2 = kBusSizeLog2;
+  req.qos = qos_;
+  req.issued_at = now;
+  reads_in_flight_.push_back({req, beats});
+  link_.ar.push(req);
+  ++stats_.reads_issued;
+}
+
+bool AxiMasterBase::can_issue_write() const {
+  return link_.aw.can_push() && writes_in_flight_.size() < max_ow_;
+}
+
+void AxiMasterBase::issue_write(Addr addr, BeatCount beats, Cycle now,
+                                std::uint64_t fill_seed) {
+  AXIHC_CHECK(can_issue_write());
+  AddrReq req;
+  req.id = next_id();
+  req.addr = addr;
+  req.beats = beats;
+  req.size_log2 = kBusSizeLog2;
+  req.qos = qos_;
+  req.issued_at = now;
+  writes_in_flight_.push_back({req, beats});
+  link_.aw.push(req);
+  for (BeatCount i = 0; i < beats; ++i) {
+    w_backlog_.push_back({fill_seed + i, 0xff, i + 1 == beats});
+  }
+  ++stats_.writes_issued;
+}
+
+void AxiMasterBase::issue_write_data(Addr addr,
+                                     const std::vector<std::uint64_t>& data,
+                                     Cycle now) {
+  AXIHC_CHECK(can_issue_write());
+  AXIHC_CHECK(!data.empty());
+  AddrReq req;
+  req.id = next_id();
+  req.addr = addr;
+  req.beats = static_cast<BeatCount>(data.size());
+  req.size_log2 = kBusSizeLog2;
+  req.qos = qos_;
+  req.issued_at = now;
+  writes_in_flight_.push_back({req, req.beats});
+  link_.aw.push(req);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    w_backlog_.push_back({data[i], 0xff, i + 1 == data.size()});
+  }
+  ++stats_.writes_issued;
+}
+
+std::size_t AxiMasterBase::read_slot_for(const RBeat& beat) {
+  AXIHC_CHECK_MSG(!reads_in_flight_.empty(),
+                  name() << ": R beat with no read in flight");
+  if (!allow_ooo_) {
+    AXIHC_CHECK_MSG(beat.id == reads_in_flight_.front().req.id,
+                    name() << ": out-of-order read data");
+    return 0;
+  }
+  // Out-of-order tolerant: reordering is burst-granular (the memory serves
+  // whole transactions), so the beat belongs to the oldest in-flight read
+  // with its ID that has already started (or any with that ID — per-ID
+  // order is guaranteed by AXI).
+  for (std::size_t i = 0; i < reads_in_flight_.size(); ++i) {
+    if (reads_in_flight_[i].req.id == beat.id) return i;
+  }
+  AXIHC_CHECK_MSG(false, name() << ": R beat with unknown id " << beat.id);
+  return 0;
+}
+
+std::size_t AxiMasterBase::write_slot_for(const BResp& resp) {
+  AXIHC_CHECK_MSG(!writes_in_flight_.empty(),
+                  name() << ": B response with no write in flight");
+  if (!allow_ooo_) {
+    AXIHC_CHECK_MSG(resp.id == writes_in_flight_.front().req.id,
+                    name() << ": out-of-order write response");
+    return 0;
+  }
+  for (std::size_t i = 0; i < writes_in_flight_.size(); ++i) {
+    if (writes_in_flight_[i].req.id == resp.id) return i;
+  }
+  AXIHC_CHECK_MSG(false, name() << ": B response with unknown id "
+                                << resp.id);
+  return 0;
+}
+
+void AxiMasterBase::pump(Cycle now) {
+  // Stream one write-data beat per cycle (64-bit bus rate).
+  if (!w_backlog_.empty() && link_.w.can_push()) {
+    link_.w.push(w_backlog_.front());
+    w_backlog_.pop_front();
+  }
+
+  // Drain one read beat per cycle.
+  if (link_.r.can_pop()) {
+    const RBeat beat = link_.r.pop();
+    const std::size_t slot = read_slot_for(beat);
+    auto& entry = reads_in_flight_[slot];
+    AXIHC_CHECK(entry.beats_left > 0);
+    --entry.beats_left;
+    stats_.bytes_read += kBusBytes;
+    on_read_beat(beat, now);
+    if (entry.beats_left == 0) {
+      AXIHC_CHECK_MSG(beat.last, name() << ": missing RLAST");
+      const AddrReq done = entry.req;
+      reads_in_flight_.erase(reads_in_flight_.begin() +
+                             static_cast<std::ptrdiff_t>(slot));
+      ++stats_.reads_completed;
+      stats_.read_latency.record(now - done.issued_at);
+      on_read_complete(done, now);
+    }
+  }
+
+  // Drain one write response per cycle.
+  if (link_.b.can_pop()) {
+    const BResp resp = link_.b.pop();
+    const std::size_t slot = write_slot_for(resp);
+    const AddrReq done = writes_in_flight_[slot].req;
+    writes_in_flight_.erase(writes_in_flight_.begin() +
+                            static_cast<std::ptrdiff_t>(slot));
+    ++stats_.writes_completed;
+    stats_.bytes_written += burst_bytes(done);
+    stats_.write_latency.record(now - done.issued_at);
+    on_write_complete(done, now);
+  }
+}
+
+void AxiMasterBase::on_read_beat(const RBeat&, Cycle) {}
+void AxiMasterBase::on_read_complete(const AddrReq&, Cycle) {}
+void AxiMasterBase::on_write_complete(const AddrReq&, Cycle) {}
+
+}  // namespace axihc

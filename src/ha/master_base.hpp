@@ -1,0 +1,139 @@
+// Shared machinery for AXI master models (hardware accelerators).
+//
+// Subclasses decide *what* to issue (their acceleration job); this base
+// handles the AXI mechanics every master shares: pushing AR/AW, streaming W
+// beats at one per cycle, draining R and B, tracking outstanding
+// transactions against a configurable limit, and collecting per-transaction
+// latency statistics.
+//
+// Ordering: by default the master asserts the in-order completion contract
+// of today's platforms (§V-A "Compatibility") — responses must arrive in
+// issue order. Constructed with `allow_out_of_order = true`, it instead
+// matches responses by AXI ID (burst-granular reordering across IDs, the
+// paper's future-work platform model).
+//
+// All HAs in the paper follow the shared-memory paradigm of §II: an AXI
+// master port for data and an AXI-Lite-like slave port for control. The
+// control side is modelled at a higher level (see src/hypervisor); this base
+// models the master port.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "axi/axi.hpp"
+#include "sim/component.hpp"
+#include "stats/stats.hpp"
+
+namespace axihc {
+
+/// Aggregate traffic/latency statistics of one master.
+struct MasterStats {
+  std::uint64_t reads_issued = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_issued = 0;
+  std::uint64_t writes_completed = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  LatencyStats read_latency;   // AR issue -> final R beat
+  LatencyStats write_latency;  // AW issue -> B response
+};
+
+class AxiMasterBase : public Component {
+ public:
+  static constexpr std::uint32_t kDefaultMaxOutstanding = 8;
+
+  AxiMasterBase(std::string name, AxiLink& link,
+                std::uint32_t max_outstanding_reads = kDefaultMaxOutstanding,
+                std::uint32_t max_outstanding_writes = kDefaultMaxOutstanding,
+                bool allow_out_of_order = false);
+
+  void reset() override;
+
+  [[nodiscard]] const MasterStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t outstanding_reads() const {
+    return static_cast<std::uint32_t>(reads_in_flight_.size());
+  }
+  [[nodiscard]] std::uint32_t outstanding_writes() const {
+    return static_cast<std::uint32_t>(writes_in_flight_.size());
+  }
+  [[nodiscard]] bool idle() const {
+    return reads_in_flight_.empty() && writes_in_flight_.empty() &&
+           w_backlog_.empty();
+  }
+
+ protected:
+  /// True when an AR can be pushed this cycle without exceeding the
+  /// outstanding-read limit.
+  [[nodiscard]] bool can_issue_read() const;
+
+  /// Issues a read burst. Requires can_issue_read().
+  void issue_read(Addr addr, BeatCount beats, Cycle now);
+
+  [[nodiscard]] bool can_issue_write() const;
+
+  /// Issues a write burst whose beats carry `fill_seed + beat_index` as
+  /// data. Requires can_issue_write().
+  void issue_write(Addr addr, BeatCount beats, Cycle now,
+                   std::uint64_t fill_seed = 0);
+
+  /// Issues a write burst with explicit per-beat data (size must equal
+  /// `beats`). Requires can_issue_write().
+  void issue_write_data(Addr addr, const std::vector<std::uint64_t>& data,
+                        Cycle now);
+
+  /// Moves one W beat into the channel and drains R/B. Subclasses call this
+  /// once per tick, after deciding what to issue.
+  void pump(Cycle now);
+
+  /// Hook: called for every read-data beat received.
+  virtual void on_read_beat(const RBeat& beat, Cycle now);
+
+  /// Hook: called when the final beat of a read burst arrives.
+  virtual void on_read_complete(const AddrReq& req, Cycle now);
+
+  /// Hook: called when a write burst's B response arrives.
+  virtual void on_write_complete(const AddrReq& req, Cycle now);
+
+  /// Subclass reset hook (base reset() calls it after clearing its state).
+  virtual void reset_master() {}
+
+  /// AXI QoS value stamped on every request this master issues (AxQOS).
+  void set_qos(std::uint8_t qos) { qos_ = qos; }
+
+  /// Beats-per-word helper: all masters here use the 64-bit data bus.
+  static constexpr std::uint8_t kBusSizeLog2 = 3;
+  static constexpr std::uint64_t kBusBytes = 1u << kBusSizeLog2;
+
+  /// Master-side IDs stay below 2^16 so interconnect ID-extension modes can
+  /// prepend the port number (IDs wrap, skipping 0).
+  static constexpr TxnId kIdLimit = 1u << 16;
+
+ private:
+  struct InFlight {
+    AddrReq req;
+    BeatCount beats_left = 0;
+  };
+
+  TxnId next_id();
+  /// Index in reads_in_flight_ the R beat belongs to (0 when in-order;
+  /// ID-matched when out-of-order is allowed).
+  std::size_t read_slot_for(const RBeat& beat);
+  std::size_t write_slot_for(const BResp& resp);
+
+  AxiLink& link_;
+  std::uint32_t max_or_;
+  std::uint32_t max_ow_;
+  bool allow_ooo_;
+  std::uint8_t qos_ = 0;
+  TxnId next_id_ = 1;
+
+  std::deque<InFlight> reads_in_flight_;
+  std::deque<InFlight> writes_in_flight_;  // beats_left unused; B order
+  std::deque<WBeat> w_backlog_;
+
+  MasterStats stats_;
+};
+
+}  // namespace axihc

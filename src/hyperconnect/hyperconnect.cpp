@@ -1,0 +1,263 @@
+#include "hyperconnect/hyperconnect.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace axihc {
+
+namespace {
+HcRuntime make_runtime(const HyperConnectConfig& cfg) {
+  HcRuntime rt;
+  rt.global_enable = true;
+  rt.nominal_burst = cfg.nominal_burst;
+  rt.max_outstanding = cfg.max_outstanding;
+  rt.reservation_period = cfg.reservation_period;
+  rt.budgets = cfg.initial_budgets;
+  rt.budgets.resize(cfg.num_ports, 0);
+  rt.coupled.assign(cfg.num_ports, true);
+  rt.out_of_order = cfg.out_of_order;
+  return rt;
+}
+}  // namespace
+
+HyperConnect::HyperConnect(std::string name, HyperConnectConfig cfg)
+    : Interconnect(std::move(name), cfg.num_ports, cfg.port_link_cfg,
+                   cfg.master_link_cfg),
+      cfg_(cfg),
+      runtime_(make_runtime(cfg)),
+      xbar_ar_(Component::name() + ".xbar_ar", cfg.xbar_stage_depth),
+      xbar_aw_(Component::name() + ".xbar_aw", cfg.xbar_stage_depth),
+      exbar_(cfg.num_ports, cfg.route_capacity,
+             /*order_based_routing=*/!cfg.out_of_order, cfg.arbitration),
+      budget_left_(runtime_.budgets),
+      regfile_(runtime_,
+               [this](PortIndex i) {
+                 return ts_[i]->subtransactions_issued();
+               }),
+      control_link_(Component::name() + ".ctrl", cfg.control_link_cfg) {
+  AXIHC_CHECK(cfg_.max_outstanding >= 1);
+  efifos_.reserve(cfg_.num_ports);
+  for (PortIndex i = 0; i < cfg_.num_ports; ++i) {
+    efifos_.emplace_back(port_link(i));
+    ts_.push_back(std::make_unique<TransactionSupervisor>(i, runtime_));
+    ts_ar_.push_back(std::make_unique<TimingChannel<AddrReq>>(
+        Component::name() + ".ts_ar" + std::to_string(i),
+        cfg_.ts_stage_depth));
+    ts_aw_.push_back(std::make_unique<TimingChannel<AddrReq>>(
+        Component::name() + ".ts_aw" + std::to_string(i),
+        cfg_.ts_stage_depth));
+    ts_ar_ptrs_.push_back(ts_ar_.back().get());
+    ts_aw_ptrs_.push_back(ts_aw_.back().get());
+  }
+}
+
+void HyperConnect::register_with(Simulator& sim) {
+  Interconnect::register_with(sim);
+  for (auto& ch : ts_ar_) sim.add(*ch);
+  for (auto& ch : ts_aw_) sim.add(*ch);
+  sim.add(xbar_ar_);
+  sim.add(xbar_aw_);
+  control_link_.register_with(sim);
+}
+
+void HyperConnect::reset() {
+  runtime_ = make_runtime(cfg_);
+  for (auto& ts : ts_) ts->reset();
+  exbar_.reset();
+  budget_left_ = runtime_.budgets;
+  recharges_ = 0;
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    efifos_[i].set_coupled(true);
+    mutable_counters(i) = PortCounters{};
+  }
+}
+
+std::uint32_t HyperConnect::budget_left(PortIndex i) const {
+  AXIHC_CHECK(i < budget_left_.size());
+  return budget_left_[i];
+}
+
+const TransactionSupervisor& HyperConnect::supervisor(PortIndex i) const {
+  AXIHC_CHECK(i < ts_.size());
+  return *ts_[i];
+}
+
+void HyperConnect::tick_control_interface() {
+  // Register write: AW + single W beat -> B.
+  if (control_link_.aw.can_pop() && control_link_.w.can_pop() &&
+      control_link_.b.can_push()) {
+    const AddrReq aw = control_link_.aw.pop();
+    AXIHC_CHECK_MSG(aw.beats == 1,
+                    name() << ": control interface writes must be single-beat");
+    const WBeat wb = control_link_.w.pop();
+    AXIHC_CHECK(wb.last);
+    regfile_.write(aw.addr, wb.data);
+    control_link_.b.push({aw.id, Resp::kOkay});
+  }
+  // Register read: AR -> single R beat.
+  if (control_link_.ar.can_pop() && control_link_.r.can_push()) {
+    const AddrReq ar = control_link_.ar.pop();
+    AXIHC_CHECK_MSG(ar.beats == 1,
+                    name() << ": control interface reads must be single-beat");
+    control_link_.r.push({ar.id, regfile_.read(ar.addr), true, Resp::kOkay});
+  }
+}
+
+void HyperConnect::tick_central_unit(Cycle now) {
+  // Keep the eFIFO decoupling state in sync with the PORT_CTRL registers.
+  // While a port is decoupled its signals are grounded: anything queued in
+  // or pushed toward its eFIFO is dropped continuously, and any half-split
+  // burst is aborted — as under dynamic partial reconfiguration, where the
+  // HA behind the port is being replaced and is reset before recoupling.
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    const bool want = runtime_.coupled[i];
+    if (!want) {
+      AxiLink& link = port_link(i);
+      link.ar.clear_contents();
+      link.aw.clear_contents();
+      link.w.clear_contents();
+      link.r.clear_contents();
+      link.b.clear_contents();
+      ts_[i]->abort_pending_issue();
+    }
+    efifos_[i].set_coupled(want);
+  }
+  // Synchronous budget recharge for all TS modules every period T.
+  if (runtime_.reservation_period != 0 &&
+      now % runtime_.reservation_period == 0) {
+    budget_left_ = runtime_.budgets;
+    ++recharges_;
+  }
+}
+
+void HyperConnect::tick_r_path() {
+  if (!master_link().r.can_pop()) return;
+
+  PortIndex port = 0;
+  if (runtime_.out_of_order) {
+    // ID-extension mode: the source port is encoded in the upper ID bits.
+    port = static_cast<PortIndex>(master_link().r.front().id >> kIdPortShift);
+    AXIHC_CHECK_MSG(port < num_ports(),
+                    name() << ": R beat with unroutable extended id");
+  } else {
+    auto& route = exbar_.read_route();
+    AXIHC_CHECK_MSG(!route.empty(), name() << ": R data with no routing info");
+    port = route.front().port;
+  }
+  Efifo& fifo = efifos_[port];
+
+  if (fifo.coupled() && !fifo.can_push_r()) return;  // upstream backpressure
+
+  RBeat raw = master_link().r.pop();
+  const bool subburst_end = raw.last;  // controller-level LAST
+  if (runtime_.out_of_order) {
+    raw.id &= (TxnId{1} << kIdPortShift) - 1;  // restore the HA's ID
+  }
+  const RBeat merged = ts_[port]->process_r_beat(raw);
+  if (fifo.coupled()) {
+    fifo.push_r(merged);
+    ++mutable_counters(port).r_beats;
+  }
+  // A decoupled port's signals are grounded: the beat is dropped, but the
+  // routing/merge bookkeeping above stays consistent.
+  if (!runtime_.out_of_order && subburst_end) exbar_.read_route().pop();
+}
+
+void HyperConnect::tick_b_path() {
+  if (!master_link().b.can_pop()) return;
+
+  PortIndex port = 0;
+  if (runtime_.out_of_order) {
+    port = static_cast<PortIndex>(master_link().b.front().id >> kIdPortShift);
+    AXIHC_CHECK_MSG(port < num_ports(),
+                    name() << ": B with unroutable extended id");
+  } else {
+    auto& route = exbar_.b_route();
+    AXIHC_CHECK_MSG(!route.empty(), name() << ": B with no routing info");
+    port = route.front();
+  }
+  Efifo& fifo = efifos_[port];
+
+  if (fifo.coupled() && !fifo.can_push_b()) return;
+
+  BResp resp = master_link().b.pop();
+  if (runtime_.out_of_order) {
+    resp.id &= (TxnId{1} << kIdPortShift) - 1;
+  }
+  const bool forward = ts_[port]->process_b(resp);
+  if (forward && fifo.coupled()) {
+    fifo.push_b(resp);
+    ++mutable_counters(port).b_resps;
+  }
+  if (!runtime_.out_of_order) exbar_.b_route().pop();
+}
+
+void HyperConnect::tick_w_path() {
+  auto& route = exbar_.write_route();
+  if (route.empty()) return;
+  auto& entry = route.front();
+  Efifo& fifo = efifos_[entry.port];
+  if (!master_link().w.can_push()) return;
+  AXIHC_CHECK(entry.beats > 0);
+  const bool sub_end = entry.beats == 1;
+
+  WBeat beat;
+  if (fifo.coupled()) {
+    if (!fifo.w_available()) return;
+    beat = fifo.pop_w();
+    const bool orig_last = beat.last;
+    if (sub_end) {
+      AXIHC_CHECK_MSG(orig_last == entry.expects_orig_last,
+                      name() << ": HA WLAST misaligned with burst length");
+    } else {
+      AXIHC_CHECK_MSG(!orig_last,
+                      name() << ": HA raised WLAST mid-burst");
+    }
+    ++mutable_counters(entry.port).w_beats;
+  } else {
+    // Decoupled port with an already-granted sub-AW: its W input is
+    // grounded. Feed zero beats so the granted transaction completes and
+    // the shared W path cannot be wedged by the isolated HA.
+    beat = WBeat{0, 0xff, false};
+  }
+  // Re-chunk WLAST to the sub-burst boundary created by the TS split.
+  beat.last = sub_end;
+  master_link().w.push(beat);
+  --entry.beats;
+  if (sub_end) route.pop();
+}
+
+void HyperConnect::tick(Cycle now) {
+  tick_control_interface();
+  tick_central_unit(now);
+
+  // Proactive data/response paths (no added latency).
+  tick_r_path();
+  tick_b_path();
+  tick_w_path();
+
+  // TS modules: one sub-request per port per direction per cycle.
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    ts_[i]->tick_read_issue(efifos_[i], *ts_ar_[i], budget_left_[i]);
+    ts_[i]->tick_write_issue(efifos_[i], *ts_aw_[i], budget_left_[i]);
+  }
+
+  // EXBAR: fixed-granularity round-robin, one grant per address channel.
+  if (auto p = exbar_.grant_read(ts_ar_ptrs_, xbar_ar_)) {
+    ++mutable_counters(*p).ar_granted;
+  }
+  if (auto p = exbar_.grant_write(ts_aw_ptrs_, xbar_aw_)) {
+    ++mutable_counters(*p).aw_granted;
+  }
+
+  // Master eFIFO stage toward the FPGA-PS interface.
+  if (xbar_ar_.can_pop() && master_link().ar.can_push()) {
+    master_link().ar.push(xbar_ar_.pop());
+  }
+  if (xbar_aw_.can_pop() && master_link().aw.can_push()) {
+    master_link().aw.push(xbar_aw_.pop());
+  }
+}
+
+}  // namespace axihc

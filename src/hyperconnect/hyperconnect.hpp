@@ -1,0 +1,89 @@
+// AXI HyperConnect — the paper's contribution (§V): a predictable,
+// hypervisor-level AXI interconnect.
+//
+// Architecture (Fig. 2): each HA-facing slave port is an eFIFO feeding a
+// Transaction Supervisor; all TS modules feed the EXBAR crossbar, whose
+// output goes through a master eFIFO to the FPGA-PS interface. A central
+// unit recharges reservation budgets synchronously, and a control AXI slave
+// interface exposes the register file for run-time reconfiguration by the
+// hypervisor.
+//
+// Pipeline latency (matches Fig. 3(a)):
+//   AR/AW : 4 cycles (slave eFIFO, TS, EXBAR, master eFIFO — 1 each)
+//   R/W/B : 2 cycles (slave eFIFO + master eFIFO; TS and EXBAR handle these
+//           channels proactively, adding no latency)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hyperconnect/config.hpp"
+#include "hyperconnect/efifo.hpp"
+#include "hyperconnect/exbar.hpp"
+#include "hyperconnect/register_file.hpp"
+#include "hyperconnect/transaction_supervisor.hpp"
+#include "interconnect/interconnect.hpp"
+
+namespace axihc {
+
+class HyperConnect final : public Interconnect {
+ public:
+  HyperConnect(std::string name, HyperConnectConfig cfg = {});
+
+  void tick(Cycle now) override;
+  void reset() override;
+  void register_with(Simulator& sim) override;
+
+  /// The control AXI slave interface (AXI-Lite-style: single-beat
+  /// transactions). In the considered framework only the hypervisor masters
+  /// this link.
+  [[nodiscard]] AxiLink& control_link() { return control_link_; }
+
+  /// Current run-time configuration (read-only observation).
+  [[nodiscard]] const HcRuntime& runtime() const { return runtime_; }
+
+  /// Direct register access, bypassing the control bus. This is the
+  /// test/bench backdoor; production configuration goes through the driver
+  /// over control_link().
+  [[nodiscard]] HcRegisterFile& registers_backdoor() { return regfile_; }
+
+  /// Remaining reservation budget of a port in the current window.
+  [[nodiscard]] std::uint32_t budget_left(PortIndex i) const;
+
+  /// Number of synchronous budget recharges performed by the central unit.
+  [[nodiscard]] std::uint64_t recharges() const { return recharges_; }
+
+  [[nodiscard]] const HyperConnectConfig& config() const { return cfg_; }
+
+  [[nodiscard]] const TransactionSupervisor& supervisor(PortIndex i) const;
+
+ private:
+  void tick_control_interface();
+  void tick_central_unit(Cycle now);
+  void tick_r_path();
+  void tick_b_path();
+  void tick_w_path();
+
+  HyperConnectConfig cfg_;
+  HcRuntime runtime_;
+
+  std::vector<Efifo> efifos_;  // one per slave port, wrapping port links
+  std::vector<std::unique_ptr<TransactionSupervisor>> ts_;
+  // Pipeline stages: TS output (one per port) and EXBAR output registers.
+  std::vector<std::unique_ptr<TimingChannel<AddrReq>>> ts_ar_;
+  std::vector<std::unique_ptr<TimingChannel<AddrReq>>> ts_aw_;
+  std::vector<TimingChannel<AddrReq>*> ts_ar_ptrs_;
+  std::vector<TimingChannel<AddrReq>*> ts_aw_ptrs_;
+  TimingChannel<AddrReq> xbar_ar_;
+  TimingChannel<AddrReq> xbar_aw_;
+  Exbar exbar_;
+
+  std::vector<std::uint32_t> budget_left_;
+  std::uint64_t recharges_ = 0;
+
+  HcRegisterFile regfile_;
+  AxiLink control_link_;
+};
+
+}  // namespace axihc

@@ -1,0 +1,80 @@
+#include "hyperconnect/register_file.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace axihc {
+
+HcRegisterFile::HcRegisterFile(
+    HcRuntime& runtime, std::function<std::uint64_t(PortIndex)> txn_count_fn)
+    : runtime_(runtime), txn_count_fn_(std::move(txn_count_fn)) {
+  AXIHC_CHECK(txn_count_fn_ != nullptr);
+  AXIHC_CHECK(runtime_.budgets.size() == runtime_.coupled.size());
+}
+
+void HcRegisterFile::write(Addr offset, std::uint64_t value) {
+  using namespace hcregs;
+  if (offset == kCtrl) {
+    runtime_.global_enable = (value & 1) != 0;
+    return;
+  }
+  if (offset == kNominalBurst) {
+    // Clamp to the AXI4 maximum; 0 keeps its "equalization off" meaning.
+    runtime_.nominal_burst = static_cast<BeatCount>(
+        value > kMaxAxi4BurstBeats ? kMaxAxi4BurstBeats : value);
+    return;
+  }
+  if (offset == kReservationPeriod) {
+    runtime_.reservation_period = value;
+    return;
+  }
+  if (offset == kOutstandingLimit) {
+    runtime_.max_outstanding =
+        static_cast<std::uint32_t>(value == 0 ? 1 : value);
+    return;
+  }
+  if (offset >= kBudgetBase && offset < kBudgetBase + kRegStride * num_ports()) {
+    const auto i = static_cast<PortIndex>((offset - kBudgetBase) / kRegStride);
+    runtime_.budgets[i] = static_cast<std::uint32_t>(value);
+    return;
+  }
+  if (offset >= kPortCtrlBase &&
+      offset < kPortCtrlBase + kRegStride * num_ports()) {
+    const auto i =
+        static_cast<PortIndex>((offset - kPortCtrlBase) / kRegStride);
+    runtime_.coupled[i] = (value & 1) != 0;
+    return;
+  }
+  ++ignored_writes_;
+}
+
+std::uint64_t HcRegisterFile::read(Addr offset) const {
+  using namespace hcregs;
+  if (offset == kCtrl) return runtime_.global_enable ? 1 : 0;
+  if (offset == kNominalBurst) return runtime_.nominal_burst;
+  if (offset == kReservationPeriod) return runtime_.reservation_period;
+  if (offset == kOutstandingLimit) return runtime_.max_outstanding;
+  if (offset == kNumPorts) return num_ports();
+  if (offset == kId) return kIdValue;
+  if (offset >= kBudgetBase &&
+      offset < kBudgetBase + kRegStride * num_ports()) {
+    const auto i = static_cast<PortIndex>((offset - kBudgetBase) / kRegStride);
+    return runtime_.budgets[i];
+  }
+  if (offset >= kPortCtrlBase &&
+      offset < kPortCtrlBase + kRegStride * num_ports()) {
+    const auto i =
+        static_cast<PortIndex>((offset - kPortCtrlBase) / kRegStride);
+    return runtime_.coupled[i] ? 1 : 0;
+  }
+  if (offset >= kTxnCountBase &&
+      offset < kTxnCountBase + kRegStride * num_ports()) {
+    const auto i =
+        static_cast<PortIndex>((offset - kTxnCountBase) / kRegStride);
+    return txn_count_fn_(i);
+  }
+  return 0;
+}
+
+}  // namespace axihc

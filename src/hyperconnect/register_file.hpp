@@ -1,0 +1,87 @@
+// Memory-mapped register file of the AXI HyperConnect control interface
+// (§V-A "Runtime reconfiguration").
+//
+// The HyperConnect exports a control AXI slave interface so its
+// configuration can be changed from the PS at run time; in the considered
+// framework this interface is managed exclusively by the hypervisor. This
+// file defines the register map (also implemented by the open-source driver
+// in src/driver) and the register-access semantics.
+//
+// Register map (64-bit registers, byte offsets):
+//   0x000 CTRL                rw  bit0 = global enable
+//   0x008 NOMINAL_BURST       rw  equalization burst size in beats; 0 = off
+//   0x010 RESERVATION_PERIOD  rw  budget recharge period in cycles; 0 = off
+//   0x018 OUTSTANDING_LIMIT   rw  per-port, per-direction sub-txn limit
+//   0x020 NUM_PORTS           ro
+//   0x028 ID                  ro  0xA81C0001
+//   0x100 + 8*i BUDGET[i]     rw  transactions per period for port i
+//   0x200 + 8*i PORT_CTRL[i]  rw  bit0 = coupled (0 decouples the port)
+//   0x300 + 8*i TXN_COUNT[i]  ro  sub-transactions issued by port i
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "hyperconnect/config.hpp"
+
+namespace axihc::hcregs {
+
+inline constexpr Addr kCtrl = 0x000;
+inline constexpr Addr kNominalBurst = 0x008;
+inline constexpr Addr kReservationPeriod = 0x010;
+inline constexpr Addr kOutstandingLimit = 0x018;
+inline constexpr Addr kNumPorts = 0x020;
+inline constexpr Addr kId = 0x028;
+inline constexpr Addr kBudgetBase = 0x100;
+inline constexpr Addr kPortCtrlBase = 0x200;
+inline constexpr Addr kTxnCountBase = 0x300;
+inline constexpr Addr kRegStride = 8;
+
+inline constexpr std::uint64_t kIdValue = 0xA81C0001;
+
+[[nodiscard]] inline Addr budget(PortIndex i) {
+  return kBudgetBase + kRegStride * i;
+}
+[[nodiscard]] inline Addr port_ctrl(PortIndex i) {
+  return kPortCtrlBase + kRegStride * i;
+}
+[[nodiscard]] inline Addr txn_count(PortIndex i) {
+  return kTxnCountBase + kRegStride * i;
+}
+
+}  // namespace axihc::hcregs
+
+namespace axihc {
+
+/// Decodes register reads/writes against the HcRuntime it supervises.
+/// TXN_COUNT reads are served through a callback into the TS counters.
+class HcRegisterFile {
+ public:
+  /// `runtime` is borrowed (owned by the HyperConnect). `txn_count_fn`
+  /// returns the sub-transaction count of a port.
+  HcRegisterFile(HcRuntime& runtime,
+                 std::function<std::uint64_t(PortIndex)> txn_count_fn);
+
+  /// Applies a register write. Unknown/read-only offsets are ignored
+  /// (hardware-style: writes to RO registers have no effect) but counted.
+  void write(Addr offset, std::uint64_t value);
+
+  /// Reads a register. Unknown offsets read as zero.
+  [[nodiscard]] std::uint64_t read(Addr offset) const;
+
+  [[nodiscard]] std::uint64_t ignored_writes() const {
+    return ignored_writes_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t num_ports() const {
+    return static_cast<std::uint32_t>(runtime_.budgets.size());
+  }
+
+  HcRuntime& runtime_;
+  std::function<std::uint64_t(PortIndex)> txn_count_fn_;
+  std::uint64_t ignored_writes_ = 0;
+};
+
+}  // namespace axihc

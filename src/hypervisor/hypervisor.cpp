@@ -1,0 +1,140 @@
+#include "hypervisor/hypervisor.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace axihc {
+
+Hypervisor::Hypervisor(std::string name, HyperConnectDriver& driver)
+    : Component(std::move(name)),
+      driver_(driver),
+      isolated_(driver.num_ports(), false),
+      last_txn_count_(driver.num_ports(), 0),
+      poll_results_(driver.num_ports()) {}
+
+void Hypervisor::reset() {
+  isolated_.assign(driver_.num_ports(), false);
+  last_txn_count_.assign(driver_.num_ports(), 0);
+  poll_results_.assign(driver_.num_ports(), std::nullopt);
+  next_poll_ = 0;
+  poll_in_flight_ = false;
+  events_.clear();
+}
+
+std::size_t Hypervisor::add_domain(Domain domain) {
+  for (const PortIndex p : domain.ports) {
+    AXIHC_CHECK_MSG(p < driver_.num_ports(),
+                    "domain port " << p << " out of range");
+    for (const auto& existing : domains_) {
+      for (const PortIndex q : existing.ports) {
+        AXIHC_CHECK_MSG(p != q, "port " << p << " already owned by domain '"
+                                        << existing.name << "'");
+      }
+    }
+  }
+  domains_.push_back(std::move(domain));
+  return domains_.size() - 1;
+}
+
+void Hypervisor::configure_reservation(Cycle period, double cycles_per_txn) {
+  std::vector<double> fractions(driver_.num_ports(), 0.0);
+  for (const auto& d : domains_) {
+    // A domain's fraction is divided evenly among its ports.
+    AXIHC_CHECK(!d.ports.empty());
+    const double per_port = d.bandwidth_fraction /
+                            static_cast<double>(d.ports.size());
+    for (const PortIndex p : d.ports) fractions[p] = per_port;
+  }
+  apply_plan(plan_bandwidth_split(period, cycles_per_txn, fractions));
+}
+
+void Hypervisor::apply_plan(const ReservationPlan& plan) {
+  AXIHC_CHECK(plan.budgets.size() == driver_.num_ports());
+  driver_.apply_reservation(plan.period, plan.budgets);
+}
+
+void Hypervisor::set_watchdog(WatchdogPolicy policy) {
+  if (policy.poll_period != 0) {
+    AXIHC_CHECK(policy.max_txns_per_poll.size() == driver_.num_ports());
+  }
+  watchdog_ = std::move(policy);
+  next_poll_ = watchdog_.poll_period;
+}
+
+void Hypervisor::isolate_domain(std::size_t domain_index) {
+  AXIHC_CHECK(domain_index < domains_.size());
+  for (const PortIndex p : domains_[domain_index].ports) {
+    driver_.set_coupled(p, false);
+    isolated_[p] = true;
+  }
+}
+
+void Hypervisor::restore_domain(std::size_t domain_index) {
+  AXIHC_CHECK(domain_index < domains_.size());
+  for (const PortIndex p : domains_[domain_index].ports) {
+    driver_.set_coupled(p, true);
+    isolated_[p] = false;
+  }
+}
+
+bool Hypervisor::port_isolated(PortIndex port) const {
+  AXIHC_CHECK(port < isolated_.size());
+  return isolated_[port];
+}
+
+void Hypervisor::poll_counters(Cycle now) {
+  // All reads have returned; evaluate the policy.
+  for (PortIndex p = 0; p < driver_.num_ports(); ++p) {
+    AXIHC_CHECK(poll_results_[p].has_value());
+    const std::uint64_t count = *poll_results_[p];
+    const std::uint64_t delta = count - last_txn_count_[p];
+    last_txn_count_[p] = count;
+    poll_results_[p] = std::nullopt;
+
+    const std::uint64_t allowed = watchdog_.max_txns_per_poll[p];
+    if (allowed != 0 && delta > allowed && !isolated_[p]) {
+      events_.push_back({now, p, delta, allowed});
+      AXIHC_LOG_INFO() << name() << ": port " << p << " issued " << delta
+                       << " txns (allowed " << allowed << ") — "
+                       << (watchdog_.auto_isolate ? "decoupling"
+                                                  : "flagging");
+      if (watchdog_.auto_isolate) {
+        driver_.set_coupled(p, false);
+        isolated_[p] = true;
+      }
+    }
+  }
+}
+
+void Hypervisor::tick(Cycle now) {
+  if (watchdog_.poll_period == 0) return;
+
+  if (poll_in_flight_) {
+    bool all_back = true;
+    for (const auto& r : poll_results_) {
+      if (!r.has_value()) {
+        all_back = false;
+        break;
+      }
+    }
+    if (all_back && driver_.idle()) {
+      poll_in_flight_ = false;
+      poll_counters(now);
+    }
+    return;
+  }
+
+  if (now >= next_poll_) {
+    next_poll_ = now + watchdog_.poll_period;
+    poll_in_flight_ = true;
+    for (PortIndex p = 0; p < driver_.num_ports(); ++p) {
+      poll_results_[p] = std::nullopt;
+      driver_.read_txn_count(
+          p, [this, p](std::uint64_t v) { poll_results_[p] = v; });
+    }
+  }
+}
+
+}  // namespace axihc

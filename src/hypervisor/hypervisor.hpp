@@ -1,0 +1,93 @@
+// Hypervisor model: the software-side owner of the AXI HyperConnect (§IV).
+//
+// The hypervisor is the only agent allowed to touch the HyperConnect's
+// control interface. It:
+//  * registers the execution domains and their HA-to-port bindings;
+//  * programs the reservation plan (bandwidth isolation between domains);
+//  * watches per-port transaction counters and automatically decouples a
+//    port that exceeds its policed rate (misbehaving/faulty HA detection,
+//    §V-A "Decoupling from the memory subsystem");
+//  * supports explicit isolate/restore of whole domains (e.g. around
+//    dynamic partial reconfiguration).
+//
+// All configuration travels over the control bus through the driver — the
+// hypervisor never back-doors the hardware state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/hyperconnect_driver.hpp"
+#include "hypervisor/domain.hpp"
+#include "sim/component.hpp"
+
+namespace axihc {
+
+struct WatchdogPolicy {
+  /// Poll period in cycles; 0 disables the watchdog.
+  Cycle poll_period = 0;
+  /// Max sub-transactions a port may issue between two polls before it is
+  /// considered misbehaving (0 = no limit for that port).
+  std::vector<std::uint64_t> max_txns_per_poll;
+  /// Decouple offending ports automatically.
+  bool auto_isolate = true;
+};
+
+/// Record of a watchdog intervention.
+struct IsolationEvent {
+  Cycle cycle = 0;
+  PortIndex port = 0;
+  std::uint64_t observed_txns = 0;
+  std::uint64_t allowed_txns = 0;
+};
+
+class Hypervisor final : public Component {
+ public:
+  Hypervisor(std::string name, HyperConnectDriver& driver);
+
+  /// Registers a domain; returns its index. Port indices must be unique
+  /// across domains (one HA master port per HyperConnect input port).
+  std::size_t add_domain(Domain domain);
+
+  [[nodiscard]] const std::vector<Domain>& domains() const {
+    return domains_;
+  }
+
+  /// Programs the HyperConnect with a reservation plan computed from the
+  /// domains' bandwidth fractions (see plan_bandwidth_split).
+  void configure_reservation(Cycle period, double cycles_per_txn);
+
+  /// Applies an explicit reservation plan.
+  void apply_plan(const ReservationPlan& plan);
+
+  void set_watchdog(WatchdogPolicy policy);
+
+  /// Decouples / recouples every port of a domain.
+  void isolate_domain(std::size_t domain_index);
+  void restore_domain(std::size_t domain_index);
+
+  [[nodiscard]] bool port_isolated(PortIndex port) const;
+  [[nodiscard]] const std::vector<IsolationEvent>& isolation_events() const {
+    return events_;
+  }
+
+  void tick(Cycle now) override;
+  void reset() override;
+
+ private:
+  void poll_counters(Cycle now);
+
+  HyperConnectDriver& driver_;
+  std::vector<Domain> domains_;
+  WatchdogPolicy watchdog_{};
+  std::vector<bool> isolated_;
+  std::vector<std::uint64_t> last_txn_count_;
+  std::vector<std::optional<std::uint64_t>> poll_results_;
+  Cycle next_poll_ = 0;
+  bool poll_in_flight_ = false;
+  std::vector<IsolationEvent> events_;
+};
+
+}  // namespace axihc

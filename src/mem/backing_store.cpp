@@ -1,0 +1,28 @@
+#include "mem/backing_store.hpp"
+
+namespace axihc {
+
+std::uint64_t BackingStore::read_word(Addr addr) const {
+  auto it = words_.find(word_index(addr));
+  return it == words_.end() ? 0 : it->second;
+}
+
+void BackingStore::write_word(Addr addr, std::uint64_t data,
+                              std::uint8_t strb) {
+  const Addr idx = word_index(addr);
+  if (strb == 0xff) {
+    words_[idx] = data;
+    return;
+  }
+  std::uint64_t word = 0;
+  if (auto it = words_.find(idx); it != words_.end()) word = it->second;
+  for (int byte = 0; byte < 8; ++byte) {
+    if (strb & (1u << byte)) {
+      const std::uint64_t mask = std::uint64_t{0xff} << (8 * byte);
+      word = (word & ~mask) | (data & mask);
+    }
+  }
+  words_[idx] = word;
+}
+
+}  // namespace axihc

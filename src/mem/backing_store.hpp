@@ -1,0 +1,34 @@
+// Sparse word-addressed memory contents. Functional only — all timing lives
+// in MemoryController. Sparse so 4 MB-scale DMA workloads don't allocate
+// 4 MB per test.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace axihc {
+
+class BackingStore {
+ public:
+  /// Reads the 64-bit word containing `addr` (which is rounded down to an
+  /// 8-byte boundary). Unwritten memory reads as zero.
+  [[nodiscard]] std::uint64_t read_word(Addr addr) const;
+
+  /// Writes the 64-bit word containing `addr`, honouring the byte-enable
+  /// strobe `strb` (bit i enables byte i of the word).
+  void write_word(Addr addr, std::uint64_t data, std::uint8_t strb = 0xff);
+
+  /// Number of distinct words ever written (test helper).
+  [[nodiscard]] std::size_t words_written() const { return words_.size(); }
+
+  void clear() { words_.clear(); }
+
+ private:
+  static Addr word_index(Addr addr) { return addr >> 3; }
+
+  std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+}  // namespace axihc

@@ -1,0 +1,213 @@
+#include "mem/memory_controller.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace axihc {
+
+MemoryController::MemoryController(std::string name, AxiLink& link,
+                                   BackingStore& store,
+                                   MemoryControllerConfig cfg)
+    : Component(std::move(name)),
+      link_(link),
+      store_(store),
+      cfg_(cfg),
+      open_row_(cfg.banks, kNoRow) {
+  AXIHC_CHECK(cfg_.banks > 0);
+}
+
+void MemoryController::reset() {
+  queue_.clear();
+  phase_ = Phase::kIdle;
+  wait_left_ = 0;
+  beats_left_ = 0;
+  next_beat_addr_ = 0;
+  stream_index_ = 0;
+  reordered_ = 0;
+  open_row_.assign(cfg_.banks, kNoRow);
+  reads_served_ = writes_served_ = beats_served_ = 0;
+  busy_cycles_ = 0;
+  row_hits_ = row_misses_ = 0;
+  refreshes_ = 0;
+}
+
+Cycle MemoryController::access_latency(Addr addr) {
+  const std::uint64_t row = addr >> cfg_.row_bytes_log2;
+  const std::uint64_t bank = row % cfg_.banks;
+  if (open_row_[bank] == row) {
+    ++row_hits_;
+    return cfg_.row_hit_latency;
+  }
+  open_row_[bank] = row;
+  ++row_misses_;
+  return cfg_.row_miss_latency;
+}
+
+bool MemoryController::would_hit(Addr addr) const {
+  const std::uint64_t row = addr >> cfg_.row_bytes_log2;
+  const std::uint64_t bank = row % cfg_.banks;
+  return open_row_[bank] == row;
+}
+
+void MemoryController::accept_new_requests() {
+  // In-order merge of the two address channels; AR is checked first, so a
+  // read and a write arriving the same cycle enqueue read-first
+  // (deterministic tie-break, documented behaviour).
+  if (link_.ar.can_pop()) queue_.push_back({false, link_.ar.pop(), {}});
+  if (link_.aw.can_pop()) queue_.push_back({true, link_.aw.pop(), {}});
+}
+
+void MemoryController::buffer_write_data() {
+  // kFrFcfs: drain one W beat per cycle into the oldest incomplete write
+  // buffer (W data arrives in AW order by AXI rule).
+  if (!link_.w.can_pop()) return;
+  for (auto& cmd : queue_) {
+    if (!cmd.is_write || cmd.data.size() == cmd.req.beats) continue;
+    const WBeat beat = link_.w.pop();
+    cmd.data.push_back(beat);
+    if (cmd.data.size() == cmd.req.beats) {
+      AXIHC_CHECK_MSG(beat.last, name() << ": W burst longer than AW said");
+    } else {
+      AXIHC_CHECK_MSG(!beat.last, name() << ": early WLAST");
+    }
+    return;
+  }
+  // No queued write is missing data; leave the beat for a not-yet-arrived
+  // AW (it stays in the channel).
+}
+
+bool MemoryController::eligible(std::size_t index) const {
+  const Command& cmd = queue_[index];
+  // Writes need their data buffered before they can execute out of order.
+  if (cmd.is_write && cmd.data.size() != cmd.req.beats) return false;
+  // AXI per-ID ordering: a command must not overtake an older command with
+  // the same (masked) ID. With the HyperConnect's ID-extension mode the
+  // mask selects the port bits, so per-source-port order is preserved.
+  const TxnId key = cmd.req.id & cfg_.id_order_mask;
+  for (std::size_t i = 0; i < index; ++i) {
+    if ((queue_[i].req.id & cfg_.id_order_mask) == key) return false;
+  }
+  // B responses must also not overtake for the same ID; covered above.
+  return true;
+}
+
+std::size_t MemoryController::pick_next() const {
+  // FR-FCFS: oldest eligible row-hit first, else oldest eligible.
+  std::size_t first_eligible = queue_.size();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (!eligible(i)) continue;
+    if (first_eligible == queue_.size()) first_eligible = i;
+    if (would_hit(queue_[i].req.addr)) return i;
+  }
+  return first_eligible;
+}
+
+void MemoryController::start_next_command() {
+  if (queue_.empty()) return;
+  std::size_t index = 0;
+  if (cfg_.scheduling == MemScheduling::kFrFcfs) {
+    index = pick_next();
+    if (index == queue_.size()) return;  // nothing eligible yet
+    if (index != 0) ++reordered_;
+  }
+  current_ = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  wait_left_ = access_latency(current_.req.addr);
+  beats_left_ = current_.req.beats;
+  next_beat_addr_ = current_.req.addr;
+  stream_index_ = 0;
+  phase_ = Phase::kLatency;
+}
+
+void MemoryController::tick(Cycle now) {
+  accept_new_requests();
+  if (cfg_.scheduling == MemScheduling::kFrFcfs) buffer_write_data();
+
+  // PS-side interference window: the controller is busy with PS masters.
+  if (cfg_.ps_stall_period != 0 &&
+      (now % cfg_.ps_stall_period) < cfg_.ps_stall_length) {
+    return;
+  }
+  // DRAM refresh window (tREFI/tRFC): the device is unavailable. Refresh
+  // also closes all open rows (precharge-all).
+  if (cfg_.refresh_period != 0 &&
+      (now % cfg_.refresh_period) < cfg_.refresh_duration) {
+    if (now % cfg_.refresh_period == 0) {
+      open_row_.assign(cfg_.banks, kNoRow);
+      ++refreshes_;
+    }
+    return;
+  }
+
+  if (phase_ != Phase::kIdle) ++busy_cycles_;
+
+  switch (phase_) {
+    case Phase::kIdle:
+      start_next_command();
+      break;
+
+    case Phase::kLatency:
+      if (wait_left_ > 0) {
+        --wait_left_;
+        break;
+      }
+      phase_ = current_.is_write ? Phase::kStreamWrite : Phase::kStreamRead;
+      [[fallthrough]];
+
+    case Phase::kStreamRead:
+    case Phase::kStreamWrite: {
+      if (phase_ == Phase::kStreamRead) {
+        if (!link_.r.can_push()) break;  // backpressure from the fabric
+        RBeat beat;
+        beat.id = current_.req.id;
+        beat.data = store_.read_word(next_beat_addr_);
+        beat.last = beats_left_ == 1;
+        link_.r.push(beat);
+      } else if (cfg_.scheduling == MemScheduling::kFrFcfs) {
+        // Data was pre-buffered; stream one beat per cycle from the buffer.
+        const bool final_beat = beats_left_ == 1;
+        if (final_beat && !link_.b.can_push()) break;
+        const WBeat& beat = current_.data[stream_index_++];
+        store_.write_word(next_beat_addr_, beat.data, beat.strb);
+        if (final_beat) link_.b.push({current_.req.id, Resp::kOkay});
+      } else {
+        if (!link_.w.can_pop()) break;  // W data not here yet
+        const bool final_beat = beats_left_ == 1;
+        if (final_beat && !link_.b.can_push()) break;  // hold last beat for B
+        const WBeat beat = link_.w.pop();
+        store_.write_word(next_beat_addr_, beat.data, beat.strb);
+        if (final_beat) {
+          AXIHC_CHECK_MSG(beat.last, "W burst longer than AW advertised");
+          link_.b.push({current_.req.id, Resp::kOkay});
+        }
+      }
+      ++beats_served_;
+      if (current_.req.burst != BurstType::kFixed) {
+        next_beat_addr_ += std::uint64_t{1} << current_.req.size_log2;
+      }
+      --beats_left_;
+      if (beats_left_ == 0) {
+        if (current_.is_write) {
+          ++writes_served_;
+        } else {
+          ++reads_served_;
+        }
+        wait_left_ = cfg_.turnaround;
+        phase_ = Phase::kTurnaround;
+      }
+      break;
+    }
+
+    case Phase::kTurnaround:
+      if (wait_left_ > 0) {
+        --wait_left_;
+        break;
+      }
+      phase_ = Phase::kIdle;
+      start_next_command();
+      break;
+  }
+}
+
+}  // namespace axihc

@@ -1,0 +1,78 @@
+#include "ps/sw_task.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace axihc {
+
+SwTask::SwTask(std::string name, AxiLink& control_link,
+               InterruptController& irq, SwTaskConfig cfg)
+    : Component(std::move(name)), link_(control_link), irq_(irq), cfg_(cfg) {
+  AXIHC_CHECK(cfg_.irq_line < irq.num_lines());
+}
+
+void SwTask::reset() {
+  state_ = State::kStart;
+  wait_left_ = 0;
+  request_started_ = 0;
+  irq_seen_ = 0;
+  next_id_ = 1;
+  done_ = 0;
+  response_times_.clear();
+}
+
+void SwTask::tick(Cycle now) {
+  switch (state_) {
+    case State::kThink:
+      if (wait_left_ > 0) {
+        --wait_left_;
+        break;
+      }
+      state_ = State::kStart;
+      [[fallthrough]];
+
+    case State::kStart: {
+      if (finished()) break;
+      if (!link_.aw.can_push() || !link_.w.can_push()) break;
+      AddrReq aw;
+      aw.id = next_id_++;
+      aw.addr = hactrl::kCtrl;
+      aw.beats = 1;
+      aw.issued_at = now;
+      link_.aw.push(aw);
+      link_.w.push({1 /* AP_START */, 0xff, true});
+      request_started_ = now;
+      state_ = State::kAwaitStartAck;
+      break;
+    }
+
+    case State::kAwaitStartAck:
+      if (!link_.b.can_pop()) break;
+      link_.b.pop();
+      state_ = State::kAwaitIrq;
+      [[fallthrough]];
+
+    case State::kAwaitIrq:
+      if (!irq_.pending(cfg_.irq_line)) break;
+      irq_.ack(cfg_.irq_line);
+      irq_seen_ = now;
+      // Model interrupt delivery latency before software observes it.
+      wait_left_ = cfg_.irq_latency;
+      state_ = State::kAckIrq;
+      break;
+
+    case State::kAckIrq:
+      if (wait_left_ > 0) {
+        --wait_left_;
+        break;
+      }
+      response_times_.record(now - request_started_);
+      ++done_;
+      wait_left_ = cfg_.think_cycles;
+      state_ = State::kThink;
+      break;
+  }
+}
+
+}  // namespace axihc

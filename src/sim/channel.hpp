@@ -1,0 +1,128 @@
+// Point-to-point timing channel — the wire+register abstraction of the
+// simulation kernel.
+//
+// Semantics (two-phase, deterministic):
+//  * During a cycle, `push` stages an element; staged elements become visible
+//    to the consumer only after `commit()` runs at the end of the cycle.
+//    Hence every hop through a channel costs exactly one clock cycle, which
+//    matches the paper's per-stage latency accounting ("one clock cycle is
+//    spent on the slave interface of the eFIFO, one on the TS, ...").
+//  * `can_push` is evaluated against the occupancy snapshotted at the start
+//    of the cycle, so the answer does not depend on whether the consumer
+//    already popped this cycle. Together with staged pushes this makes the
+//    simulation independent of component tick order: runs are
+//    bit-deterministic by construction and there are no combinational loops.
+//  * `pop` consumes elements committed in earlier cycles.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace axihc {
+
+/// Type-erased base so the Simulator can commit/reset heterogeneous channels.
+class ChannelBase {
+ public:
+  explicit ChannelBase(std::string name) : name_(std::move(name)) {}
+  virtual ~ChannelBase() = default;
+  ChannelBase(const ChannelBase&) = delete;
+  ChannelBase& operator=(const ChannelBase&) = delete;
+
+  /// End-of-cycle: make staged pushes visible and re-snapshot occupancy.
+  virtual void commit() = 0;
+
+  /// Hardware reset: drop all contents.
+  virtual void reset() = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+template <typename T>
+class TimingChannel final : public ChannelBase {
+ public:
+  /// A channel with `capacity` storage slots (the register/FIFO depth of the
+  /// link). Capacity 1 models a plain pipeline register.
+  TimingChannel(std::string name, std::size_t capacity)
+      : ChannelBase(std::move(name)), capacity_(capacity) {
+    AXIHC_CHECK(capacity_ > 0);
+  }
+
+  /// True if the producer may push this cycle (backpressure check).
+  [[nodiscard]] bool can_push() const {
+    return occupancy_at_cycle_start_ + staged_.size() < capacity_;
+  }
+
+  /// Stages `value` for delivery next cycle. Requires can_push().
+  void push(T value) {
+    AXIHC_CHECK_MSG(can_push(), "push on full channel '" << name() << "'");
+    staged_.push_back(std::move(value));
+    ++total_pushes_;
+  }
+
+  /// True if the consumer can pop a (previously committed) element.
+  [[nodiscard]] bool can_pop() const { return !committed_.empty(); }
+
+  [[nodiscard]] bool empty() const { return committed_.empty(); }
+
+  /// Oldest committed element. Requires can_pop().
+  [[nodiscard]] const T& front() const {
+    AXIHC_CHECK_MSG(can_pop(), "front on empty channel '" << name() << "'");
+    return committed_.front();
+  }
+
+  /// Removes and returns the oldest committed element. Requires can_pop().
+  T pop() {
+    AXIHC_CHECK_MSG(can_pop(), "pop on empty channel '" << name() << "'");
+    T value = std::move(committed_.front());
+    committed_.pop_front();
+    ++total_pops_;
+    return value;
+  }
+
+  /// Committed elements currently queued (in-flight occupancy).
+  [[nodiscard]] std::size_t size() const { return committed_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Lifetime traffic counters (used by throughput probes).
+  [[nodiscard]] std::uint64_t total_pushes() const { return total_pushes_; }
+  [[nodiscard]] std::uint64_t total_pops() const { return total_pops_; }
+
+  void commit() override {
+    for (auto& v : staged_) committed_.push_back(std::move(v));
+    staged_.clear();
+    occupancy_at_cycle_start_ = committed_.size();
+  }
+
+  void reset() override {
+    clear_contents();
+    total_pushes_ = 0;
+    total_pops_ = 0;
+  }
+
+  /// Drops all queued and staged elements but keeps the traffic counters
+  /// (used for port flushes, e.g. eFIFO decoupling, not full resets).
+  void clear_contents() {
+    committed_.clear();
+    staged_.clear();
+    occupancy_at_cycle_start_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> committed_;
+  std::vector<T> staged_;
+  std::size_t occupancy_at_cycle_start_ = 0;
+  std::uint64_t total_pushes_ = 0;
+  std::uint64_t total_pops_ = 0;
+};
+
+}  // namespace axihc

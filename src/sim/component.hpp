@@ -1,0 +1,33 @@
+// Base class for everything with clocked behaviour (interconnects, memory
+// controllers, accelerators, monitors).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace axihc {
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// One clock cycle of behaviour. Reads committed channel state, stages
+  /// pushes, updates internal registers. Must not assume anything about the
+  /// tick order of other components.
+  virtual void tick(Cycle now) = 0;
+
+  /// Hardware reset. Default: stateless.
+  virtual void reset() {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace axihc

@@ -1,0 +1,27 @@
+#include "sim/simulator.hpp"
+
+namespace axihc {
+
+void Simulator::add(Component& component) { components_.push_back(&component); }
+
+void Simulator::add(ChannelBase& channel) { channels_.push_back(&channel); }
+
+void Simulator::reset() {
+  for (auto* c : components_) c->reset();
+  for (auto* ch : channels_) ch->reset();
+  // Commit once so occupancy snapshots start from the empty state.
+  for (auto* ch : channels_) ch->commit();
+  now_ = 0;
+}
+
+void Simulator::step() {
+  for (auto* c : components_) c->tick(now_);
+  for (auto* ch : channels_) ch->commit();
+  ++now_;
+}
+
+void Simulator::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+}  // namespace axihc

@@ -1,0 +1,51 @@
+// Cycle-stepped simulator: ticks every component, then commits every channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/channel.hpp"
+#include "sim/component.hpp"
+
+namespace axihc {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Registers a component (non-owning; caller keeps it alive).
+  void add(Component& component);
+
+  /// Registers a channel for end-of-cycle commit (non-owning).
+  void add(ChannelBase& channel);
+
+  /// Resets all components and channels and rewinds time to zero.
+  void reset();
+
+  /// Advances the simulation by one clock cycle.
+  void step();
+
+  /// Advances by `cycles` clock cycles.
+  void run(Cycle cycles);
+
+  /// Steps until `done()` returns true or `max_cycles` elapse.
+  /// Returns true if the predicate fired (i.e. the run did not time out).
+  template <typename Pred>
+  bool run_until(Pred done, Cycle max_cycles) {
+    for (Cycle i = 0; i < max_cycles; ++i) {
+      if (done()) return true;
+      step();
+    }
+    return done();
+  }
+
+  [[nodiscard]] Cycle now() const { return now_; }
+
+ private:
+  std::vector<Component*> components_;
+  std::vector<ChannelBase*> channels_;
+  Cycle now_ = 0;
+};
+
+}  // namespace axihc

@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace axihc {
+
+void EventTrace::record(Cycle cycle, std::string source, std::string event) {
+  if (!enabled_) return;
+  events_.push_back({cycle, std::move(source), std::move(event)});
+}
+
+Cycle EventTrace::first(const std::string& source,
+                        const std::string& event) const {
+  for (const auto& e : events_) {
+    if (e.source == source && e.event == event) return e.cycle;
+  }
+  return kNoCycle;
+}
+
+std::size_t EventTrace::count(const std::string& source,
+                              const std::string& event) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.source == source && e.event == event) ++n;
+  }
+  return n;
+}
+
+void EventTrace::dump(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << e.cycle << '\t' << e.source << '\t' << e.event << '\n';
+  }
+}
+
+}  // namespace axihc

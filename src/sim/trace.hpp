@@ -1,0 +1,50 @@
+// Lightweight event trace. Components can record named events; tests use the
+// trace to assert exact timing, and debugging dumps it as text. Disabled
+// traces cost one branch per record.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace axihc {
+
+struct TraceEvent {
+  Cycle cycle;
+  std::string source;
+  std::string event;
+};
+
+class EventTrace {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Cycle cycle, std::string source, std::string event);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// First cycle at which (source, event) was recorded, or kNoCycle.
+  [[nodiscard]] Cycle first(const std::string& source,
+                            const std::string& event) const;
+
+  /// Number of events matching (source, event).
+  [[nodiscard]] std::size_t count(const std::string& source,
+                                  const std::string& event) const;
+
+  void clear() { events_.clear(); }
+
+  /// Writes a human-readable dump, one event per line.
+  void dump(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace axihc

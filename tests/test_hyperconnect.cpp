@@ -1,0 +1,256 @@
+// HyperConnect end-to-end behaviour: data integrity, ordering, arbitration
+// fairness, counters, and the control interface.
+#include "hyperconnect/hyperconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ha/dma_engine.hpp"
+#include "ha/traffic_gen.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace axihc {
+namespace {
+
+struct HcFixture : ::testing::Test {
+  explicit HcFixture(HyperConnectConfig cfg = {})
+      : hc("hc", with_two_ports(cfg)),
+        mem("ddr", hc.master_link(), store, mem_cfg()) {
+    hc.register_with(sim);
+    sim.add(mem);
+  }
+
+  static HyperConnectConfig with_two_ports(HyperConnectConfig cfg) {
+    cfg.num_ports = 2;
+    return cfg;
+  }
+
+  static MemoryControllerConfig mem_cfg() {
+    MemoryControllerConfig c;
+    c.row_hit_latency = 4;
+    c.row_miss_latency = 8;
+    return c;
+  }
+
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc;
+  MemoryController mem;
+};
+
+TEST_F(HcFixture, SingleMasterReadCompletes) {
+  DmaConfig cfg;
+  cfg.mode = DmaMode::kRead;
+  cfg.bytes_per_job = 1024;
+  cfg.burst_beats = 16;
+  cfg.max_jobs = 1;
+  DmaEngine dma("dma", hc.port_link(0), cfg);
+  sim.add(dma);
+  sim.reset();
+  ASSERT_TRUE(sim.run_until([&] { return dma.finished(); }, 100000));
+  EXPECT_EQ(dma.stats().reads_completed, 8u);
+  EXPECT_EQ(hc.counters(0).ar_granted, 8u);
+}
+
+TEST_F(HcFixture, CopyThroughHyperConnectIsLossless) {
+  for (Addr a = 0; a < 2048; a += 8) {
+    store.write_word(0x1000'0000 + a, a * 3 + 1);
+  }
+  DmaConfig cfg;
+  cfg.mode = DmaMode::kCopy;
+  cfg.bytes_per_job = 2048;
+  cfg.burst_beats = 16;
+  cfg.max_jobs = 1;
+  DmaEngine dma("dma", hc.port_link(0), cfg);
+  sim.add(dma);
+  sim.reset();
+  for (Addr a = 0; a < 2048; a += 8) {
+    store.write_word(0x1000'0000 + a, a * 3 + 1);
+  }
+  ASSERT_TRUE(sim.run_until([&] { return dma.finished(); }, 200000));
+  for (Addr a = 0; a < 2048; a += 8) {
+    ASSERT_EQ(store.read_word(0x2000'0000 + a), a * 3 + 1) << "offset " << a;
+  }
+}
+
+TEST_F(HcFixture, TwoMastersConcurrentWritesDontInterleaveData) {
+  DmaConfig c0;
+  c0.mode = DmaMode::kWrite;
+  c0.bytes_per_job = 1024;
+  c0.burst_beats = 16;
+  c0.max_jobs = 1;
+  c0.write_base = 0x1000;
+  DmaEngine m0("m0", hc.port_link(0), c0);
+  DmaConfig c1 = c0;
+  c1.write_base = 0x9000;
+  DmaEngine m1("m1", hc.port_link(1), c1);
+  sim.add(m0);
+  sim.add(m1);
+  sim.reset();
+
+  ASSERT_TRUE(
+      sim.run_until([&] { return m0.finished() && m1.finished(); }, 200000));
+  // Fill pattern: word at byte offset o is (o - base offset incremented
+  // per beat). Both regions complete and distinct.
+  for (Addr o = 0; o < 1024; o += 128) {
+    EXPECT_EQ(store.read_word(0x1000 + o), o) << "m0 offset " << o;
+    EXPECT_EQ(store.read_word(0x9000 + o), o) << "m1 offset " << o;
+  }
+}
+
+TEST_F(HcFixture, ExbarSharesEquallyBetweenGreedyMasters) {
+  TrafficConfig greedy;
+  greedy.direction = TrafficDirection::kRead;
+  greedy.burst_beats = 16;
+  TrafficGenerator g0("g0", hc.port_link(0), greedy);
+  TrafficGenerator g1("g1", hc.port_link(1), greedy);
+  sim.add(g0);
+  sim.add(g1);
+  sim.reset();
+  sim.run(50000);
+  const double a = static_cast<double>(g0.stats().bytes_read);
+  const double b = static_cast<double>(g1.stats().bytes_read);
+  ASSERT_GT(a + b, 0);
+  EXPECT_NEAR(a / (a + b), 0.5, 0.03);
+}
+
+TEST_F(HcFixture, EqualizationRestoresFairnessAgainstStealer) {
+  // The headline fix from [11]: with burst equalization, a 256-beat-burst
+  // stealer no longer dominates a 4-beat victim.
+  TrafficConfig small;
+  small.direction = TrafficDirection::kRead;
+  small.burst_beats = 4;
+  small.base = 0x4000'0000;
+  small.max_outstanding = 8;
+  TrafficConfig big = TrafficGenerator::bandwidth_stealer(0x6000'0000);
+  TrafficGenerator victim("victim", hc.port_link(0), small);
+  TrafficGenerator stealer("stealer", hc.port_link(1), big);
+  sim.add(victim);
+  sim.add(stealer);
+  sim.reset();
+
+  sim.run(100000);
+  const double v = static_cast<double>(victim.stats().bytes_read);
+  const double s = static_cast<double>(stealer.stats().bytes_read);
+  ASSERT_GT(v + s, 0);
+  // The victim only asks for 4-beat bursts vs the nominal 16, so perfect
+  // interleaving of arbitration units gives it 4/(4+16) = 20%. Anything
+  // near that is fair; under SmartConnect it gets < 10% (see
+  // test_smartconnect.cpp).
+  EXPECT_GT(v / (v + s), 0.15);
+}
+
+TEST_F(HcFixture, CountersTrackSubTransactions) {
+  DmaConfig cfg;
+  cfg.mode = DmaMode::kReadWrite;
+  cfg.bytes_per_job = 512;
+  cfg.burst_beats = 16;
+  cfg.max_jobs = 1;
+  DmaEngine dma("dma", hc.port_link(0), cfg);
+  sim.add(dma);
+  sim.reset();
+  ASSERT_TRUE(sim.run_until([&] { return dma.finished(); }, 100000));
+  // 512B at 16-beat (128B) bursts: 4 reads + 4 writes.
+  EXPECT_EQ(hc.counters(0).ar_granted, 4u);
+  EXPECT_EQ(hc.counters(0).aw_granted, 4u);
+  EXPECT_EQ(hc.supervisor(0).subtransactions_issued(), 8u);
+  EXPECT_EQ(hc.counters(1).ar_granted, 0u);
+}
+
+TEST_F(HcFixture, ControlInterfaceReadsIdAndPorts) {
+  sim.reset();
+  AddrReq ar;
+  ar.id = 1;
+  ar.addr = hcregs::kId;
+  ar.beats = 1;
+  hc.control_link().ar.push(ar);
+  ASSERT_TRUE(
+      sim.run_until([&] { return hc.control_link().r.can_pop(); }, 100));
+  EXPECT_EQ(hc.control_link().r.pop().data, hcregs::kIdValue);
+
+  ar.addr = hcregs::kNumPorts;
+  hc.control_link().ar.push(ar);
+  ASSERT_TRUE(
+      sim.run_until([&] { return hc.control_link().r.can_pop(); }, 100));
+  EXPECT_EQ(hc.control_link().r.pop().data, 2u);
+}
+
+TEST_F(HcFixture, ControlInterfaceWritesRegisters) {
+  sim.reset();
+  AddrReq aw;
+  aw.id = 3;
+  aw.addr = hcregs::kNominalBurst;
+  aw.beats = 1;
+  hc.control_link().aw.push(aw);
+  hc.control_link().w.push({8, 0xff, true});
+  ASSERT_TRUE(
+      sim.run_until([&] { return hc.control_link().b.can_pop(); }, 100));
+  hc.control_link().b.pop();
+  EXPECT_EQ(hc.runtime().nominal_burst, 8u);
+}
+
+TEST_F(HcFixture, GlobalDisableStallsAllTraffic) {
+  sim.reset();
+  hc.registers_backdoor().write(hcregs::kCtrl, 0);  // disable
+
+  TrafficConfig cfg;
+  cfg.direction = TrafficDirection::kRead;
+  cfg.burst_beats = 4;
+  TrafficGenerator gen("gen", hc.port_link(0), cfg);
+  sim.add(gen);
+  sim.run(2000);
+  EXPECT_EQ(gen.stats().reads_completed, 0u);
+
+  hc.registers_backdoor().write(hcregs::kCtrl, 1);  // enable again
+  sim.run(2000);
+  EXPECT_GT(gen.stats().reads_completed, 0u);
+}
+
+TEST_F(HcFixture, InOrderCompletionPerMaster) {
+  // Issue many reads from one port; the master base asserts in-order
+  // completion internally — surviving the run proves ordering.
+  TrafficConfig cfg;
+  cfg.direction = TrafficDirection::kRead;
+  cfg.burst_beats = 16;
+  cfg.max_transactions = 200;
+  TrafficGenerator gen("gen", hc.port_link(0), cfg);
+  sim.add(gen);
+  sim.reset();
+  ASSERT_TRUE(sim.run_until([&] { return gen.finished(); }, 500000));
+  EXPECT_EQ(gen.stats().reads_completed, 200u);
+}
+
+TEST(HyperConnectPorts, FourPortFairShare) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 4;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+
+  std::vector<std::unique_ptr<TrafficGenerator>> gens;
+  TrafficConfig tcfg;
+  tcfg.direction = TrafficDirection::kRead;
+  tcfg.burst_beats = 16;
+  for (PortIndex i = 0; i < 4; ++i) {
+    tcfg.base = 0x4000'0000 + (static_cast<Addr>(i) << 24);
+    gens.push_back(std::make_unique<TrafficGenerator>(
+        "g" + std::to_string(i), hc.port_link(i), tcfg));
+    sim.add(*gens.back());
+  }
+  sim.reset();
+  sim.run(80000);
+  double total = 0;
+  for (const auto& g : gens) total += static_cast<double>(g->stats().bytes_read);
+  ASSERT_GT(total, 0);
+  for (const auto& g : gens) {
+    EXPECT_NEAR(static_cast<double>(g->stats().bytes_read) / total, 0.25,
+                0.03);
+  }
+}
+
+}  // namespace
+}  // namespace axihc

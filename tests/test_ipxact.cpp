@@ -1,0 +1,129 @@
+// IP-XACT export/import tests: XML round-trips and component descriptions.
+#include "ipxact/ipxact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "ipxact/xml.hpp"
+
+namespace axihc {
+namespace {
+
+TEST(Xml, EscapeRoundTrip) {
+  EXPECT_EQ(xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+}
+
+TEST(Xml, BuildAndSerialize) {
+  XmlNode root("root");
+  root.set_attribute("k", "v<1>");
+  root.add_text_child("child", "text & more");
+  const std::string s = root.to_string();
+  EXPECT_NE(s.find("<root k=\"v&lt;1&gt;\">"), std::string::npos);
+  EXPECT_NE(s.find("<child>text &amp; more</child>"), std::string::npos);
+}
+
+TEST(Xml, ParseSimpleDocument) {
+  const auto root = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- comment -->\n"
+      "<a x=\"1\"><b>hello</b><b>world</b><c/></a>");
+  EXPECT_EQ(root->tag(), "a");
+  ASSERT_NE(root->attribute("x"), nullptr);
+  EXPECT_EQ(*root->attribute("x"), "1");
+  const auto bs = root->children_named("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->text(), "hello");
+  EXPECT_EQ(bs[1]->text(), "world");
+  EXPECT_NE(root->child("c"), nullptr);
+}
+
+TEST(Xml, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_xml("<a><b></a></b>"), ModelError);
+  EXPECT_THROW(parse_xml("<a>"), ModelError);
+  EXPECT_THROW(parse_xml("<a></a><b></b>"), ModelError);
+}
+
+TEST(Xml, SerializeParseRoundTrip) {
+  XmlNode root("spirit:top");
+  root.set_attribute("xmlns:spirit", "http://example.org");
+  XmlNode& mid = root.add_child("spirit:mid");
+  mid.add_text_child("spirit:leaf", "value with <specials> & \"quotes\"");
+  const auto reparsed = parse_xml(root.to_string());
+  EXPECT_EQ(reparsed->tag(), "spirit:top");
+  const XmlNode* mid2 = reparsed->child("spirit:mid");
+  ASSERT_NE(mid2, nullptr);
+  EXPECT_EQ(mid2->child_text("spirit:leaf"),
+            "value with <specials> & \"quotes\"");
+}
+
+TEST(Ipxact, HyperConnectDescriptionHasAllInterfaces) {
+  HyperConnectConfig cfg;
+  cfg.num_ports = 3;
+  const IpxactComponent c = describe_hyperconnect(cfg);
+  EXPECT_EQ(c.vlnv(), "sssa.it:interconnect:axi_hyperconnect:1.0");
+  // 3 slave ports + 1 master + 1 control slave.
+  ASSERT_EQ(c.bus_interfaces.size(), 5u);
+  int masters = 0;
+  int slaves = 0;
+  for (const auto& i : c.bus_interfaces) {
+    (i.mode == BusInterfaceMode::kMaster ? masters : slaves)++;
+  }
+  EXPECT_EQ(masters, 1);
+  EXPECT_EQ(slaves, 4);
+}
+
+TEST(Ipxact, ParametersCaptureConfiguration) {
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  cfg.nominal_burst = 8;
+  cfg.reservation_period = 1234;
+  const IpxactComponent c = describe_hyperconnect(cfg);
+  auto param = [&](const std::string& name) -> std::string {
+    for (const auto& p : c.parameters) {
+      if (p.name == name) return p.value;
+    }
+    return "";
+  };
+  EXPECT_EQ(param("NUM_PORTS"), "2");
+  EXPECT_EQ(param("NOMINAL_BURST"), "8");
+  EXPECT_EQ(param("RESERVATION_PERIOD"), "1234");
+}
+
+TEST(Ipxact, ExportImportRoundTrip) {
+  HyperConnectConfig cfg;
+  cfg.num_ports = 4;
+  const IpxactComponent original = describe_hyperconnect(cfg);
+  const std::string xml = to_ipxact_xml(original);
+  const IpxactComponent reparsed = parse_ipxact_xml(xml);
+
+  EXPECT_EQ(reparsed.vlnv(), original.vlnv());
+  ASSERT_EQ(reparsed.bus_interfaces.size(), original.bus_interfaces.size());
+  for (std::size_t i = 0; i < original.bus_interfaces.size(); ++i) {
+    EXPECT_EQ(reparsed.bus_interfaces[i].name,
+              original.bus_interfaces[i].name);
+    EXPECT_EQ(reparsed.bus_interfaces[i].mode == BusInterfaceMode::kMaster,
+              original.bus_interfaces[i].mode == BusInterfaceMode::kMaster);
+    EXPECT_EQ(reparsed.bus_interfaces[i].bus_type,
+              original.bus_interfaces[i].bus_type);
+  }
+  ASSERT_EQ(reparsed.parameters.size(), original.parameters.size());
+  for (std::size_t i = 0; i < original.parameters.size(); ++i) {
+    EXPECT_EQ(reparsed.parameters[i].name, original.parameters[i].name);
+    EXPECT_EQ(reparsed.parameters[i].value, original.parameters[i].value);
+  }
+}
+
+TEST(Ipxact, AcceleratorDescription) {
+  const IpxactComponent c = describe_accelerator("chaidnn", "xilinx.com");
+  EXPECT_EQ(c.name, "chaidnn");
+  ASSERT_EQ(c.bus_interfaces.size(), 2u);
+  EXPECT_EQ(c.bus_interfaces[0].mode == BusInterfaceMode::kMaster, true);
+  EXPECT_EQ(c.bus_interfaces[1].bus_type, "aximm-lite");
+}
+
+TEST(Ipxact, ParseRejectsNonComponent) {
+  EXPECT_THROW(parse_ipxact_xml("<foo></foo>"), ModelError);
+}
+
+}  // namespace
+}  // namespace axihc

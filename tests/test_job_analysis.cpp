@@ -1,0 +1,162 @@
+// Job-level WCRT analysis: frame/job bounds validated against adversarial
+// simulation, and the reservation-sizing inverse.
+#include "analysis/job_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ha/traffic_gen.hpp"
+#include "hypervisor/domain.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace axihc {
+namespace {
+
+TEST(JobProfile, DnnProfileCoversAllLayers) {
+  DnnConfig cfg;
+  cfg.layers = {{"a", 1024, 512, 256, 10'000}, {"b", 2048, 0, 0, 5'000}};
+  cfg.macs_per_cycle = 100;
+  const JobProfile job = profile_of(cfg);
+  // Layer a: load + compute + store; layer b: load + compute (no store).
+  ASSERT_EQ(job.phases.size(), 5u);
+  EXPECT_EQ(job.phases[0].read_bytes, 1536u);
+  EXPECT_EQ(job.phases[1].compute_cycles, 100u);
+  EXPECT_EQ(job.phases[2].write_bytes, 256u);
+  EXPECT_EQ(job.total_bytes(), 1024u + 512 + 256 + 2048);
+}
+
+TEST(JobProfile, DmaProfileRespectsMode) {
+  DmaConfig cfg;
+  cfg.bytes_per_job = 4096;
+  cfg.mode = DmaMode::kRead;
+  EXPECT_EQ(profile_of(cfg).phases[0].read_bytes, 4096u);
+  EXPECT_EQ(profile_of(cfg).phases[0].write_bytes, 0u);
+  cfg.mode = DmaMode::kReadWrite;
+  const JobProfile both = profile_of(cfg);
+  EXPECT_EQ(both.total_bytes(), 8192u);
+}
+
+TEST(JobAnalysis, SubsForBytes) {
+  HcAnalysisConfig cfg;
+  cfg.nominal_burst = 16;  // 128 B units
+  EXPECT_EQ(subs_for_bytes(cfg, 16, 0), 0u);
+  EXPECT_EQ(subs_for_bytes(cfg, 16, 128), 1u);
+  EXPECT_EQ(subs_for_bytes(cfg, 16, 129), 2u);
+  EXPECT_EQ(subs_for_bytes(cfg, 4, 128), 4u);  // HA bursts smaller: 32 B units
+  cfg.nominal_burst = 0;
+  EXPECT_EQ(subs_for_bytes(cfg, 16, 1280), 10u);
+}
+
+TEST(JobAnalysis, BoundGrowsWithContention) {
+  AnalysisPlatform p;
+  JobProfile job;
+  job.phases.push_back({64 << 10, 0, 0});
+  HcAnalysisConfig two;
+  two.num_ports = 2;
+  HcAnalysisConfig four;
+  four.num_ports = 4;
+  EXPECT_LT(job_wcrt(two, p, 0, job), job_wcrt(four, p, 0, job));
+}
+
+TEST(JobAnalysis, ReservationBoundDominatesSimulatedFrame) {
+  // A DNN-like job under reservation, with a flooding adversary: the
+  // analytical frame bound must dominate the measured frame time.
+  DnnConfig dnn_cfg;
+  dnn_cfg.layers = {
+      {"l0", 8192, 4096, 2048, 200'000},
+      {"l1", 16384, 2048, 1024, 100'000},
+  };
+  dnn_cfg.macs_per_cycle = 256;
+  dnn_cfg.burst_beats = 16;
+  dnn_cfg.max_frames = 1;
+
+  const Cycle period = 2000;
+  const std::vector<std::uint32_t> budgets = {30, 15};  // 45 * S(16)=41 <= 2000
+
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  cfg.nominal_burst = 16;
+  cfg.reservation_period = period;
+  cfg.initial_budgets = budgets;
+  HyperConnect hc("hc", cfg);
+  MemoryControllerConfig mc;
+  mc.row_hit_latency = 10;
+  mc.row_miss_latency = 24;
+  MemoryController mem("ddr", hc.master_link(), store, mc);
+  hc.register_with(sim);
+  sim.add(mem);
+
+  DnnAccelerator dnn("dnn", hc.port_link(0), dnn_cfg);
+  TrafficConfig adversary;
+  adversary.direction = TrafficDirection::kRead;
+  adversary.burst_beats = 16;
+  adversary.base = 0x6000'0000;
+  TrafficGenerator flood("flood", hc.port_link(1), adversary);
+  sim.add(dnn);
+  sim.add(flood);
+  sim.reset();
+
+  ASSERT_TRUE(sim.run_until([&] { return dnn.finished(); }, 10'000'000));
+  const Cycle measured = dnn.frame_completion_cycles()[0];
+
+  HcAnalysisConfig a;
+  a.num_ports = 2;
+  a.nominal_burst = 16;
+  a.reservation_period = period;
+  a.budgets = budgets;
+  a.competitor_backlog = 4;
+  AnalysisPlatform p;
+  p.mem_latency = mc.row_miss_latency;
+  p.turnaround = mc.turnaround;
+  ASSERT_TRUE(reservation_feasible(a, p));
+  const Cycle bound = job_wcrt(a, p, 0, profile_of(dnn_cfg));
+
+  EXPECT_LE(measured, bound);
+  EXPECT_LE(bound, measured * 30) << "uselessly loose job bound";
+}
+
+TEST(JobAnalysis, MinBudgetForDeadlineIsTightAndSound) {
+  DnnConfig dnn_cfg;
+  dnn_cfg.layers = {{"l0", 32768, 8192, 4096, 400'000}};
+  dnn_cfg.macs_per_cycle = 256;
+  const JobProfile job = profile_of(dnn_cfg);
+
+  HcAnalysisConfig cfg;
+  cfg.num_ports = 2;
+  cfg.nominal_burst = 16;
+  cfg.reservation_period = 2000;
+  cfg.budgets = {0, 7};
+  AnalysisPlatform p;
+
+  const Cycle deadline = 40'000;
+  const std::uint32_t budget =
+      min_budget_for_deadline(cfg, p, 0, job, deadline);
+  ASSERT_GT(budget, 0u);
+
+  // Sound: the returned budget meets the deadline...
+  cfg.budgets[0] = budget;
+  EXPECT_LE(job_wcrt(cfg, p, 0, job), deadline);
+  // ...and minimal: one less budget unit misses it (or is infeasible).
+  if (budget > 1) {
+    cfg.budgets[0] = budget - 1;
+    const bool feasible = reservation_feasible(cfg, p);
+    EXPECT_TRUE(!feasible || job_wcrt(cfg, p, 0, job) > deadline);
+  }
+}
+
+TEST(JobAnalysis, ImpossibleDeadlineReturnsZero) {
+  JobProfile job;
+  job.phases.push_back({1 << 20, 0, 0});  // 1 MB
+  HcAnalysisConfig cfg;
+  cfg.num_ports = 2;
+  cfg.reservation_period = 2000;
+  cfg.budgets = {0, 0};
+  AnalysisPlatform p;
+  EXPECT_EQ(min_budget_for_deadline(cfg, p, 0, job, /*deadline=*/100), 0u);
+}
+
+}  // namespace
+}  // namespace axihc

@@ -1,0 +1,140 @@
+// Bandwidth probe tests (the APM-style observer) and the AlexNet schedule.
+#include <gtest/gtest.h>
+
+#include "ha/dma_engine.hpp"
+#include "ha/dnn_accelerator.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+#include "stats/bandwidth_probe.hpp"
+
+namespace axihc {
+namespace {
+
+struct ProbeFixture : ::testing::Test {
+  ProbeFixture()
+      : link("l"),
+        mem("ddr", link, store, mem_cfg()),
+        probe("probe", link, /*window=*/1000) {
+    link.register_with(sim);
+    sim.add(mem);
+    sim.add(probe);
+  }
+
+  static MemoryControllerConfig mem_cfg() {
+    MemoryControllerConfig c;
+    c.row_hit_latency = 4;
+    c.row_miss_latency = 8;
+    return c;
+  }
+
+  Simulator sim;
+  AxiLink link;
+  BackingStore store;
+  MemoryController mem;
+  BandwidthProbe probe;
+};
+
+TEST_F(ProbeFixture, CountsExactBytes) {
+  DmaConfig cfg;
+  cfg.mode = DmaMode::kReadWrite;
+  cfg.bytes_per_job = 4096;
+  cfg.burst_beats = 16;
+  cfg.max_jobs = 1;
+  DmaEngine dma("dma", link, cfg);
+  sim.add(dma);
+  sim.reset();
+  ASSERT_TRUE(sim.run_until([&] { return dma.finished(); }, 100000));
+  sim.step();  // let the probe observe the final counters
+  EXPECT_EQ(probe.total_read_bytes(), 4096u);
+  EXPECT_EQ(probe.total_write_bytes(), 4096u);
+}
+
+TEST_F(ProbeFixture, WindowsSumToTotal) {
+  DmaConfig cfg;
+  cfg.mode = DmaMode::kRead;
+  cfg.bytes_per_job = 16384;
+  cfg.burst_beats = 16;
+  cfg.max_jobs = 1;
+  DmaEngine dma("dma", link, cfg);
+  sim.add(dma);
+  sim.reset();
+  ASSERT_TRUE(sim.run_until([&] { return dma.finished(); }, 200000));
+  sim.run(2001);  // close at least two more windows
+  std::uint64_t sum = 0;
+  for (const auto w : probe.read_window_bytes()) sum += w;
+  EXPECT_EQ(sum, probe.total_read_bytes());
+  EXPECT_GT(probe.read_window_bytes().size(), 1u);
+  EXPECT_GT(probe.peak_read_window(), 0u);
+}
+
+TEST_F(ProbeFixture, IdleLinkMeasuresZero) {
+  sim.reset();
+  sim.run(5000);
+  EXPECT_EQ(probe.total_read_bytes(), 0u);
+  EXPECT_EQ(probe.peak_write_window(), 0u);
+}
+
+TEST_F(ProbeFixture, BurstyTrafficShowsIdleWindows) {
+  // A DNN's compute phases leave probe windows with zero traffic.
+  DnnConfig cfg;
+  cfg.layers = {{"l0", 4096, 0, 0, 500'000}};  // long compute, no store
+  cfg.macs_per_cycle = 100;                    // 5000 compute cycles
+  cfg.max_frames = 1;
+  DnnAccelerator dnn("dnn", link, cfg);
+  sim.add(dnn);
+  sim.reset();
+  ASSERT_TRUE(sim.run_until([&] { return dnn.finished(); }, 100000));
+  sim.run(1001);
+  bool saw_idle_window = false;
+  bool saw_busy_window = false;
+  for (const auto w : probe.read_window_bytes()) {
+    if (w == 0) saw_idle_window = true;
+    if (w > 0) saw_busy_window = true;
+  }
+  EXPECT_TRUE(saw_idle_window);
+  EXPECT_TRUE(saw_busy_window);
+}
+
+TEST(AlexNet, ScheduleShape) {
+  const auto layers = alexnet_layers();
+  ASSERT_EQ(layers.size(), 8u);
+  std::uint64_t weights = 0;
+  std::uint64_t macs = 0;
+  for (const auto& l : layers) {
+    weights += l.weight_bytes;
+    macs += l.macs;
+  }
+  // ~61M parameters, ~0.72 GMAC.
+  EXPECT_NEAR(static_cast<double>(weights), 61e6, 4e6);
+  EXPECT_NEAR(static_cast<double>(macs), 0.72e9, 0.1e9);
+  // AlexNet is weight-dominated (FC layers), unlike GoogleNet.
+  std::uint64_t google_weights = 0;
+  for (const auto& l : googlenet_layers()) google_weights += l.weight_bytes;
+  EXPECT_GT(weights, 5 * google_weights);
+}
+
+TEST(AlexNet, RunsThroughTheStack) {
+  Simulator sim;
+  AxiLink link("l");
+  BackingStore store;
+  MemoryController mem("ddr", link, store, {});
+  DnnConfig cfg;
+  cfg.layers = alexnet_layers();
+  for (auto& l : cfg.layers) {  // scaled for test speed
+    l.weight_bytes /= 64;
+    l.ifmap_bytes /= 64;
+    l.ofmap_bytes /= 64;
+    l.macs /= 64;
+  }
+  cfg.max_frames = 1;
+  DnnAccelerator dnn("alexnet", link, cfg);
+  link.register_with(sim);
+  sim.add(mem);
+  sim.add(dnn);
+  sim.reset();
+  ASSERT_TRUE(sim.run_until([&] { return dnn.finished(); }, 10'000'000));
+  EXPECT_EQ(dnn.frames_completed(), 1u);
+}
+
+}  // namespace
+}  // namespace axihc

@@ -1,0 +1,109 @@
+// QoS-priority arbitration extension tests: the opt-in EXBAR policy that
+// honours AxQOS (which SmartConnect ignores, PG247 p.6).
+#include <gtest/gtest.h>
+
+#include "ha/traffic_gen.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace axihc {
+namespace {
+
+struct QosFixture {
+  explicit QosFixture(ArbitrationPolicy policy,
+                      Cycle reservation_period = 0,
+                      std::vector<std::uint32_t> budgets = {}) {
+    HyperConnectConfig cfg;
+    cfg.num_ports = 2;
+    cfg.arbitration = policy;
+    // Keep the route memory short so the arbitration decision (not the
+    // FIFO backlog of already-granted transactions at the in-order memory
+    // controller) determines who gets served: with a deep route memory a
+    // strict-priority grant still waits behind dozens of earlier grants.
+    cfg.route_capacity = 4;
+    cfg.max_outstanding = 8;
+    cfg.reservation_period = reservation_period;
+    cfg.initial_budgets = std::move(budgets);
+    hc = std::make_unique<HyperConnect>("hc", cfg);
+    mem = std::make_unique<MemoryController>("ddr", hc->master_link(), store,
+                                             MemoryControllerConfig{});
+    hc->register_with(sim);
+    sim.add(*mem);
+  }
+
+  TrafficGenerator& add_generator(PortIndex port, std::uint8_t qos) {
+    TrafficConfig t;
+    t.direction = TrafficDirection::kRead;
+    t.burst_beats = 16;
+    t.base = 0x4000'0000 + (static_cast<Addr>(port) << 24);
+    t.qos = qos;
+    gens.push_back(std::make_unique<TrafficGenerator>(
+        "g" + std::to_string(port), hc->port_link(port), t));
+    sim.add(*gens.back());
+    return *gens.back();
+  }
+
+  Simulator sim;
+  BackingStore store;
+  std::unique_ptr<HyperConnect> hc;
+  std::unique_ptr<MemoryController> mem;
+  std::vector<std::unique_ptr<TrafficGenerator>> gens;
+};
+
+TEST(QosArbitration, HighQosDominatesUnderPriorityPolicy) {
+  QosFixture f(ArbitrationPolicy::kQosPriority);
+  auto& low = f.add_generator(0, 1);
+  auto& high = f.add_generator(1, 8);
+  f.sim.reset();
+  f.sim.run(50000);
+  const double lo = static_cast<double>(low.stats().bytes_read);
+  const double hi = static_cast<double>(high.stats().bytes_read);
+  ASSERT_GT(hi, 0);
+  // Strict priority: the low-QoS master is starved down to the slack left
+  // by the high-QoS master's outstanding limit.
+  EXPECT_GT(hi / (lo + hi), 0.9);
+}
+
+TEST(QosArbitration, RoundRobinPolicyIgnoresQos) {
+  QosFixture f(ArbitrationPolicy::kRoundRobin);
+  auto& low = f.add_generator(0, 1);
+  auto& high = f.add_generator(1, 8);
+  f.sim.reset();
+  f.sim.run(50000);
+  const double lo = static_cast<double>(low.stats().bytes_read);
+  const double hi = static_cast<double>(high.stats().bytes_read);
+  EXPECT_NEAR(hi / (lo + hi), 0.5, 0.05);
+}
+
+TEST(QosArbitration, EqualQosDegeneratesToRoundRobin) {
+  QosFixture f(ArbitrationPolicy::kQosPriority);
+  auto& a = f.add_generator(0, 4);
+  auto& b = f.add_generator(1, 4);
+  f.sim.reset();
+  f.sim.run(50000);
+  const double x = static_cast<double>(a.stats().bytes_read);
+  const double y = static_cast<double>(b.stats().bytes_read);
+  EXPECT_NEAR(x / (x + y), 0.5, 0.05);
+}
+
+TEST(QosArbitration, ReservationBoundsQosStarvation) {
+  // The documented pairing: priority arbitration + reservation. The
+  // high-QoS master is budget-capped, so the low-QoS master keeps a
+  // guaranteed share despite strict priority.
+  QosFixture f(ArbitrationPolicy::kQosPriority, /*period=*/2000,
+               /*budgets=*/{30, 30});
+  auto& low = f.add_generator(0, 1);
+  auto& high = f.add_generator(1, 8);
+  f.sim.reset();
+  f.sim.run(100000);
+  const double lo = static_cast<double>(low.stats().bytes_read);
+  const double hi = static_cast<double>(high.stats().bytes_read);
+  ASSERT_GT(lo + hi, 0);
+  // Equal budgets: both get their 30 txns/window regardless of priority.
+  EXPECT_NEAR(lo / (lo + hi), 0.5, 0.07);
+}
+
+}  // namespace
+}  // namespace axihc

@@ -1,0 +1,95 @@
+// Register file semantics: decode, read-only behaviour, clamping.
+#include "hyperconnect/register_file.hpp"
+
+#include <gtest/gtest.h>
+
+namespace axihc {
+namespace {
+
+struct RegFixture : ::testing::Test {
+  RegFixture()
+      : rf(rt, [this](PortIndex i) { return txn_counts.at(i); }) {
+    rt.budgets = {0, 0};
+    rt.coupled = {true, true};
+    txn_counts = {100, 200};
+  }
+
+  HcRuntime rt;
+  std::vector<std::uint64_t> txn_counts;
+  HcRegisterFile rf{rt, [](PortIndex) { return 0ull; }};
+};
+
+TEST_F(RegFixture, CtrlTogglesGlobalEnable) {
+  rf.write(hcregs::kCtrl, 0);
+  EXPECT_FALSE(rt.global_enable);
+  EXPECT_EQ(rf.read(hcregs::kCtrl), 0u);
+  rf.write(hcregs::kCtrl, 1);
+  EXPECT_TRUE(rt.global_enable);
+}
+
+TEST_F(RegFixture, NominalBurstWritesAndClamps) {
+  rf.write(hcregs::kNominalBurst, 32);
+  EXPECT_EQ(rt.nominal_burst, 32u);
+  rf.write(hcregs::kNominalBurst, 100000);
+  EXPECT_EQ(rt.nominal_burst, kMaxAxi4BurstBeats);
+  rf.write(hcregs::kNominalBurst, 0);  // equalization off
+  EXPECT_EQ(rt.nominal_burst, 0u);
+}
+
+TEST_F(RegFixture, ReservationPeriodRoundTrips) {
+  rf.write(hcregs::kReservationPeriod, 5000);
+  EXPECT_EQ(rt.reservation_period, 5000u);
+  EXPECT_EQ(rf.read(hcregs::kReservationPeriod), 5000u);
+}
+
+TEST_F(RegFixture, OutstandingLimitZeroBecomesOne) {
+  rf.write(hcregs::kOutstandingLimit, 0);
+  EXPECT_EQ(rt.max_outstanding, 1u);
+  rf.write(hcregs::kOutstandingLimit, 7);
+  EXPECT_EQ(rt.max_outstanding, 7u);
+}
+
+TEST_F(RegFixture, PerPortBudgets) {
+  rf.write(hcregs::budget(0), 42);
+  rf.write(hcregs::budget(1), 77);
+  EXPECT_EQ(rt.budgets[0], 42u);
+  EXPECT_EQ(rt.budgets[1], 77u);
+  EXPECT_EQ(rf.read(hcregs::budget(1)), 77u);
+}
+
+TEST_F(RegFixture, PortCtrlDecouples) {
+  rf.write(hcregs::port_ctrl(1), 0);
+  EXPECT_FALSE(rt.coupled[1]);
+  EXPECT_TRUE(rt.coupled[0]);
+  EXPECT_EQ(rf.read(hcregs::port_ctrl(1)), 0u);
+  rf.write(hcregs::port_ctrl(1), 1);
+  EXPECT_TRUE(rt.coupled[1]);
+}
+
+TEST_F(RegFixture, ReadOnlyRegistersIgnoreWrites) {
+  rf.write(hcregs::kId, 0xdead);
+  EXPECT_EQ(rf.read(hcregs::kId), hcregs::kIdValue);
+  rf.write(hcregs::kNumPorts, 99);
+  EXPECT_EQ(rf.read(hcregs::kNumPorts), 2u);
+  EXPECT_EQ(rf.ignored_writes(), 2u);
+}
+
+TEST_F(RegFixture, TxnCountersReadThrough) {
+  HcRegisterFile rf2(rt, [this](PortIndex i) { return txn_counts.at(i); });
+  EXPECT_EQ(rf2.read(hcregs::txn_count(0)), 100u);
+  EXPECT_EQ(rf2.read(hcregs::txn_count(1)), 200u);
+}
+
+TEST_F(RegFixture, UnknownOffsetsReadZeroWriteIgnored) {
+  EXPECT_EQ(rf.read(0xF000), 0u);
+  rf.write(0xF000, 7);
+  EXPECT_EQ(rf.ignored_writes(), 1u);
+}
+
+TEST_F(RegFixture, BudgetOffsetOutsidePortRangeIgnored) {
+  rf.write(hcregs::budget(5), 9);  // only 2 ports exist
+  EXPECT_EQ(rf.ignored_writes(), 1u);
+}
+
+}  // namespace
+}  // namespace axihc

@@ -1,0 +1,203 @@
+// Bandwidth reservation tests [10]: budgets per periodic window, synchronous
+// recharge, isolation of a greedy master from a reserved one.
+#include <gtest/gtest.h>
+
+#include "ha/traffic_gen.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+#include "stats/stats.hpp"
+
+namespace axihc {
+namespace {
+
+HyperConnectConfig reserved_cfg(Cycle period,
+                                std::vector<std::uint32_t> budgets) {
+  HyperConnectConfig cfg;
+  cfg.num_ports = static_cast<std::uint32_t>(budgets.size());
+  cfg.reservation_period = period;
+  cfg.initial_budgets = std::move(budgets);
+  return cfg;
+}
+
+TEST(Reservation, BudgetNeverExceededPerWindow) {
+  // The TS counts transactions at run time and guarantees the budget is
+  // never exceeded (§V-B). Count granted sub-transactions per window.
+  const Cycle period = 500;
+  const std::uint32_t budget = 5;
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc("hc", reserved_cfg(period, {budget, 0}));
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig greedy;
+  greedy.direction = TrafficDirection::kRead;
+  greedy.burst_beats = 16;
+  TrafficGenerator gen("gen", hc.port_link(0), greedy);
+  sim.add(gen);
+  sim.reset();
+
+  std::uint64_t prev = 0;
+  for (int window = 0; window < 20; ++window) {
+    sim.run(period);
+    const std::uint64_t now_count = hc.supervisor(0).subtransactions_issued();
+    EXPECT_LE(now_count - prev, budget) << "window " << window;
+    prev = now_count;
+  }
+  // And the budget is actually usable: the master gets its full allowance.
+  EXPECT_GE(hc.supervisor(0).subtransactions_issued(), 19u * budget);
+}
+
+TEST(Reservation, ZeroBudgetStarvesPort) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc("hc", reserved_cfg(200, {0, 10}));
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig cfg;
+  cfg.direction = TrafficDirection::kRead;
+  cfg.burst_beats = 16;
+  TrafficGenerator starved("starved", hc.port_link(0), cfg);
+  TrafficGenerator served("served", hc.port_link(1), cfg);
+  sim.add(starved);
+  sim.add(served);
+  sim.reset();
+
+  sim.run(10000);
+  EXPECT_EQ(starved.stats().reads_completed, 0u);
+  EXPECT_GT(served.stats().reads_completed, 0u);
+}
+
+TEST(Reservation, RechargeIsSynchronousAndPeriodic) {
+  const Cycle period = 100;
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc("hc", reserved_cfg(period, {3, 3}));
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+  sim.reset();
+
+  sim.run(1000);
+  // Recharges at cycles 0, 100, ..., 900 = 10 events.
+  EXPECT_EQ(hc.recharges(), 10u);
+}
+
+TEST(Reservation, BandwidthFollowsBudgetRatio) {
+  // Two greedy masters with budgets 3:1 — byte throughput splits ~75/25.
+  const Cycle period = 400;
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc("hc", reserved_cfg(period, {9, 3}));
+  MemoryControllerConfig mc;
+  mc.row_hit_latency = 4;
+  mc.row_miss_latency = 8;
+  MemoryController mem("ddr", hc.master_link(), store, mc);
+  hc.register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig cfg;
+  cfg.direction = TrafficDirection::kRead;
+  cfg.burst_beats = 16;
+  cfg.base = 0x4000'0000;
+  TrafficGenerator g0("g0", hc.port_link(0), cfg);
+  cfg.base = 0x6000'0000;
+  TrafficGenerator g1("g1", hc.port_link(1), cfg);
+  sim.add(g0);
+  sim.add(g1);
+  sim.reset();
+
+  sim.run(100000);
+  const double a = static_cast<double>(g0.stats().bytes_read);
+  const double b = static_cast<double>(g1.stats().bytes_read);
+  ASSERT_GT(a + b, 0);
+  EXPECT_NEAR(a / (a + b), 0.75, 0.05);
+}
+
+TEST(Reservation, UnusedBudgetDoesNotAccumulate) {
+  // A master idle for several windows must not burst beyond one window's
+  // budget afterwards (budgets recharge, they don't accumulate).
+  const Cycle period = 300;
+  const std::uint32_t budget = 4;
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc("hc", reserved_cfg(period, {budget, 0}));
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+  sim.reset();
+
+  // Idle for 5 windows.
+  sim.run(5 * period);
+  EXPECT_EQ(hc.counters(0).ar_granted, 0u);
+
+  TrafficConfig cfg;
+  cfg.direction = TrafficDirection::kRead;
+  cfg.burst_beats = 16;
+  TrafficGenerator gen("gen", hc.port_link(0), cfg);
+  sim.add(gen);
+
+  std::uint64_t prev = hc.supervisor(0).subtransactions_issued();
+  // Partial window remains until the next multiple of `period`.
+  sim.run(period - (sim.now() % period));
+  std::uint64_t issued = hc.supervisor(0).subtransactions_issued() - prev;
+  EXPECT_LE(issued, budget);
+  prev = hc.supervisor(0).subtransactions_issued();
+  sim.run(period);
+  issued = hc.supervisor(0).subtransactions_issued() - prev;
+  EXPECT_LE(issued, budget);
+}
+
+TEST(Reservation, DisabledReservationImposesNoLimit) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;  // reservation_period = 0 (off)
+  cfg.num_ports = 2;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig t;
+  t.direction = TrafficDirection::kRead;
+  t.burst_beats = 16;
+  TrafficGenerator gen("gen", hc.port_link(0), t);
+  sim.add(gen);
+  sim.reset();
+  sim.run(20000);
+  EXPECT_GT(hc.counters(0).ar_granted, 100u);
+}
+
+TEST(Reservation, WritesConsumeBudgetToo) {
+  const Cycle period = 500;
+  const std::uint32_t budget = 4;
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc("hc", reserved_cfg(period, {budget, 0}));
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig t;
+  t.direction = TrafficDirection::kMixed;
+  t.burst_beats = 16;
+  TrafficGenerator gen("gen", hc.port_link(0), t);
+  sim.add(gen);
+  sim.reset();
+
+  std::uint64_t prev = 0;
+  for (int window = 0; window < 10; ++window) {
+    sim.run(period);
+    const std::uint64_t issued = hc.supervisor(0).subtransactions_issued();
+    EXPECT_LE(issued - prev, budget) << "window " << window;
+    prev = issued;
+  }
+}
+
+}  // namespace
+}  // namespace axihc

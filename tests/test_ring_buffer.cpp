@@ -1,0 +1,120 @@
+// Unit tests for RingBuffer, the hardware-FIFO primitive behind the eFIFO
+// queues and the EXBAR routing memories.
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace axihc {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_EQ(rb.free_slots(), 4u);
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(RingBuffer<int>(0), ModelError);
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> rb(8);
+  for (int i = 0; i < 5; ++i) rb.push(i);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    EXPECT_EQ(rb.pop(), i);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, FullRejectsPush) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_TRUE(rb.full());
+  EXPECT_THROW(rb.push(3), ModelError);
+}
+
+TEST(RingBuffer, EmptyRejectsPopAndFront) {
+  RingBuffer<int> rb(2);
+  EXPECT_THROW(rb.pop(), ModelError);
+  EXPECT_THROW(static_cast<void>(rb.front()), ModelError);
+}
+
+TEST(RingBuffer, WrapsAroundCorrectly) {
+  RingBuffer<int> rb(3);
+  // Cycle many times through a small buffer to exercise wrap-around.
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    while (!rb.full()) rb.push(next_in++);
+    // Drain partially to force head/tail misalignment.
+    for (int k = 0; k < 2 && !rb.empty(); ++k) {
+      EXPECT_EQ(rb.pop(), next_out++);
+    }
+  }
+  while (!rb.empty()) EXPECT_EQ(rb.pop(), next_out++);
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBuffer, AtIndexesFromFront) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(11);
+  rb.push(12);
+  rb.pop();  // misalign head
+  rb.push(13);
+  EXPECT_EQ(rb.at(0), 11);
+  EXPECT_EQ(rb.at(1), 12);
+  EXPECT_EQ(rb.at(2), 13);
+  EXPECT_THROW(static_cast<void>(rb.at(3)), ModelError);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<std::string> rb(2);
+  rb.push("a");
+  rb.push("b");
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push("c");
+  EXPECT_EQ(rb.front(), "c");
+}
+
+TEST(RingBuffer, FrontIsMutable) {
+  RingBuffer<int> rb(2);
+  rb.push(5);
+  rb.front() = 9;
+  EXPECT_EQ(rb.pop(), 9);
+}
+
+TEST(RingBuffer, MoveOnlyElements) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(42));
+  auto p = rb.pop();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+}
+
+class RingBufferCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferCapacitySweep, FillDrainPreservesOrderAtAnyCapacity) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::size_t> rb(cap);
+  for (std::size_t i = 0; i < cap; ++i) rb.push(i);
+  EXPECT_TRUE(rb.full());
+  for (std::size_t i = 0; i < cap; ++i) EXPECT_EQ(rb.pop(), i);
+  EXPECT_TRUE(rb.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferCapacitySweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 64, 256));
+
+}  // namespace
+}  // namespace axihc

@@ -1,0 +1,291 @@
+// Transaction Supervisor unit tests: burst equalization (split/merge),
+// outstanding limiting and budget accounting — exercised directly against
+// the TS logic, without the rest of the interconnect.
+#include "hyperconnect/transaction_supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace axihc {
+namespace {
+
+struct TsFixture : ::testing::Test {
+  TsFixture()
+      : link("l"), fifo(link), ts_ar("ts_ar", 8), ts_aw("ts_aw", 8),
+        ts(0, rt) {
+    rt.nominal_burst = 16;
+    rt.max_outstanding = 4;
+    rt.reservation_period = 0;
+    rt.budgets = {0};
+    rt.coupled = {true};
+    link.register_with(sim);
+    sim.add(ts_ar);
+    sim.add(ts_aw);
+    sim.reset();
+  }
+
+  /// One TS issue step + channel commit (like one HyperConnect cycle).
+  void step_read(std::uint32_t& budget) {
+    ts.tick_read_issue(fifo, ts_ar, budget);
+    sim.step();
+  }
+  void step_write(std::uint32_t& budget) {
+    ts.tick_write_issue(fifo, ts_aw, budget);
+    sim.step();
+  }
+
+  AddrReq make_read(Addr addr, BeatCount beats) {
+    AddrReq r;
+    r.id = 5;
+    r.addr = addr;
+    r.beats = beats;
+    return r;
+  }
+
+  HcRuntime rt;
+  Simulator sim;
+  AxiLink link;
+  Efifo fifo;
+  TimingChannel<AddrReq> ts_ar;
+  TimingChannel<AddrReq> ts_aw;
+  TransactionSupervisor ts;
+};
+
+TEST_F(TsFixture, ShortBurstPassesUnsplit) {
+  std::uint32_t budget = 0;
+  link.ar.push(make_read(0x1000, 8));
+  sim.step();
+  step_read(budget);  // pop AR, issue sub
+  ASSERT_TRUE(ts_ar.can_pop());
+  const AddrReq sub = ts_ar.pop();
+  EXPECT_EQ(sub.beats, 8u);
+  EXPECT_EQ(sub.addr, 0x1000u);
+  EXPECT_EQ(sub.tag, 1u);  // final
+  EXPECT_EQ(ts.subtransactions_issued(), 1u);
+}
+
+TEST_F(TsFixture, LongBurstSplitsToNominal) {
+  std::uint32_t budget = 0;
+  link.ar.push(make_read(0x2000, 64));  // 4 x 16-beat subs
+  sim.step();
+  std::vector<AddrReq> subs;
+  for (int i = 0; i < 10 && subs.size() < 4; ++i) {
+    step_read(budget);
+    while (ts_ar.can_pop()) subs.push_back(ts_ar.pop());
+  }
+  ASSERT_EQ(subs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(subs[i].beats, 16u);
+    EXPECT_EQ(subs[i].addr, 0x2000u + i * 16 * 8);
+    EXPECT_EQ(subs[i].id, 5u);  // original id preserved
+    EXPECT_EQ(subs[i].tag, i == 3 ? 1u : 0u);
+  }
+}
+
+TEST_F(TsFixture, UnevenSplitKeepsRemainder) {
+  std::uint32_t budget = 0;
+  link.ar.push(make_read(0x0, 20));  // 16 + 4
+  sim.step();
+  std::vector<AddrReq> subs;
+  for (int i = 0; i < 10 && subs.size() < 2; ++i) {
+    step_read(budget);
+    while (ts_ar.can_pop()) subs.push_back(ts_ar.pop());
+  }
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].beats, 16u);
+  EXPECT_EQ(subs[1].beats, 4u);
+  EXPECT_EQ(subs[1].tag, 1u);
+}
+
+TEST_F(TsFixture, EqualizationOffPassesFullBurst) {
+  rt.nominal_burst = 0;
+  std::uint32_t budget = 0;
+  link.ar.push(make_read(0x0, 200));
+  sim.step();
+  step_read(budget);
+  ASSERT_TRUE(ts_ar.can_pop());
+  EXPECT_EQ(ts_ar.pop().beats, 200u);
+}
+
+TEST_F(TsFixture, WrapBurstsNeverSplit) {
+  std::uint32_t budget = 0;
+  AddrReq wrap = make_read(0x0, 16);
+  wrap.burst = BurstType::kWrap;
+  rt.nominal_burst = 4;
+  link.ar.push(wrap);
+  sim.step();
+  step_read(budget);
+  ASSERT_TRUE(ts_ar.can_pop());
+  EXPECT_EQ(ts_ar.pop().beats, 16u);
+}
+
+TEST_F(TsFixture, FixedBurstSplitsKeepAddress) {
+  std::uint32_t budget = 0;
+  AddrReq fixed = make_read(0x3000, 32);
+  fixed.burst = BurstType::kFixed;
+  link.ar.push(fixed);
+  sim.step();
+  std::vector<AddrReq> subs;
+  for (int i = 0; i < 10 && subs.size() < 2; ++i) {
+    step_read(budget);
+    while (ts_ar.can_pop()) subs.push_back(ts_ar.pop());
+  }
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].addr, 0x3000u);
+  EXPECT_EQ(subs[1].addr, 0x3000u);  // FIXED: address does not advance
+}
+
+TEST_F(TsFixture, OutstandingLimitStallsIssue) {
+  rt.max_outstanding = 2;
+  std::uint32_t budget = 0;
+  link.ar.push(make_read(0x0, 64));  // wants 4 subs
+  sim.step();
+  for (int i = 0; i < 10; ++i) {
+    ts.tick_read_issue(fifo, ts_ar, budget);
+    sim.step();
+  }
+  // Only 2 subs issued until R data retires them.
+  EXPECT_EQ(ts.reads_outstanding(), 2u);
+  EXPECT_EQ(ts.subtransactions_issued(), 2u);
+
+  // Retire one sub-burst: last beat of the first sub.
+  RBeat beat;
+  beat.id = 5;
+  beat.last = true;
+  const RBeat merged = ts.process_r_beat(beat);
+  EXPECT_FALSE(merged.last) << "intermediate sub-burst must clear RLAST";
+  EXPECT_EQ(ts.reads_outstanding(), 1u);
+
+  ts.tick_read_issue(fifo, ts_ar, budget);
+  EXPECT_EQ(ts.subtransactions_issued(), 3u);
+}
+
+TEST_F(TsFixture, RMergeKeepsLastOnlyOnFinalSub) {
+  std::uint32_t budget = 0;
+  link.ar.push(make_read(0x0, 32));  // 2 subs
+  sim.step();
+  for (int i = 0; i < 5; ++i) step_read(budget);
+  ASSERT_EQ(ts.subtransactions_issued(), 2u);
+
+  RBeat mid;
+  mid.id = 5;
+  mid.last = false;
+  EXPECT_FALSE(ts.process_r_beat(mid).last);
+
+  RBeat end_sub1;
+  end_sub1.id = 5;
+  end_sub1.last = true;
+  EXPECT_FALSE(ts.process_r_beat(end_sub1).last);
+
+  RBeat end_sub2;
+  end_sub2.id = 5;
+  end_sub2.last = true;
+  EXPECT_TRUE(ts.process_r_beat(end_sub2).last);
+}
+
+TEST_F(TsFixture, BMergeForwardsOnlyFinalSub) {
+  std::uint32_t budget = 0;
+  AddrReq aw = make_read(0x0, 48);  // 3 subs
+  link.aw.push(aw);
+  sim.step();
+  for (int i = 0; i < 6; ++i) step_write(budget);
+  ASSERT_EQ(ts.writes_outstanding(), 3u);
+
+  BResp resp;
+  resp.id = 5;
+  EXPECT_FALSE(ts.process_b(resp));
+  EXPECT_FALSE(ts.process_b(resp));
+  EXPECT_TRUE(ts.process_b(resp));
+  EXPECT_EQ(ts.writes_outstanding(), 0u);
+}
+
+TEST_F(TsFixture, BudgetConsumedPerSubTransaction) {
+  rt.reservation_period = 1000;  // reservation active
+  std::uint32_t budget = 3;
+  link.ar.push(make_read(0x0, 64));  // wants 4 subs, budget only 3
+  sim.step();
+  for (int i = 0; i < 10; ++i) step_read(budget);
+  EXPECT_EQ(ts.subtransactions_issued(), 3u);
+  EXPECT_EQ(budget, 0u);
+
+  // Recharge: the fourth sub can now go.
+  budget = 3;
+  step_read(budget);
+  EXPECT_EQ(ts.subtransactions_issued(), 4u);
+  EXPECT_EQ(budget, 2u);
+}
+
+TEST_F(TsFixture, GlobalDisableBlocksIssue) {
+  rt.global_enable = false;
+  std::uint32_t budget = 0;
+  link.ar.push(make_read(0x0, 8));
+  sim.step();
+  step_read(budget);
+  EXPECT_FALSE(ts_ar.can_pop());
+  EXPECT_EQ(ts.subtransactions_issued(), 0u);
+}
+
+TEST_F(TsFixture, ProcessRWithoutPendingThrows) {
+  RBeat beat;
+  beat.last = true;
+  EXPECT_THROW(static_cast<void>(ts.process_r_beat(beat)), ModelError);
+}
+
+class TsSplitSweep
+    : public ::testing::TestWithParam<std::tuple<BeatCount, BeatCount>> {};
+
+TEST_P(TsSplitSweep, SubBurstsCoverOriginalExactly) {
+  // Property: for any (burst length, nominal), the sub-bursts tile the
+  // original address range exactly, each <= nominal, only the final one
+  // tagged.
+  const auto [beats, nominal] = GetParam();
+  HcRuntime rt;
+  rt.nominal_burst = nominal;
+  rt.max_outstanding = 1000;
+  rt.budgets = {0};
+  rt.coupled = {true};
+
+  Simulator sim;
+  AxiLink link("l");
+  Efifo fifo(link);
+  TimingChannel<AddrReq> out("out", 512);
+  TransactionSupervisor ts(0, rt);
+  link.register_with(sim);
+  sim.add(out);
+  sim.reset();
+
+  AddrReq req;
+  req.addr = 0x8000;
+  req.beats = beats;
+  link.ar.push(req);
+  sim.step();
+
+  std::uint32_t budget = 0;
+  std::vector<AddrReq> subs;
+  for (int i = 0; i < 600 && (subs.empty() || subs.back().tag != 1); ++i) {
+    ts.tick_read_issue(fifo, out, budget);
+    sim.step();
+    while (out.can_pop()) subs.push_back(out.pop());
+  }
+  ASSERT_FALSE(subs.empty());
+  Addr expect_addr = 0x8000;
+  BeatCount total = 0;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(subs[i].addr, expect_addr);
+    EXPECT_LE(subs[i].beats, nominal == 0 ? beats : nominal);
+    EXPECT_EQ(subs[i].tag != 0, i + 1 == subs.size());
+    expect_addr += std::uint64_t{subs[i].beats} * 8;
+    total += subs[i].beats;
+  }
+  EXPECT_EQ(total, beats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TsSplitSweep,
+    ::testing::Combine(::testing::Values<BeatCount>(1, 4, 15, 16, 17, 64, 100,
+                                                    256),
+                       ::testing::Values<BeatCount>(1, 4, 16, 64)));
+
+}  // namespace
+}  // namespace axihc

@@ -1,0 +1,205 @@
+// Worst-case latency analysis validation: every analytical bound must
+// dominate the observed worst case in adversarial simulations (soundness),
+// without being uselessly loose (tightness factor).
+#include "analysis/wcla.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "ha/traffic_gen.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace axihc {
+namespace {
+
+AnalysisPlatform platform_for(const MemoryControllerConfig& mc) {
+  AnalysisPlatform p;
+  p.mem_latency = mc.row_miss_latency;
+  p.turnaround = mc.turnaround;
+  return p;
+}
+
+TEST(Wcla, ServiceBound) {
+  AnalysisPlatform p;
+  p.mem_latency = 24;
+  p.turnaround = 1;
+  EXPECT_EQ(service_bound(p, 16), 41u);
+  EXPECT_EQ(service_bound(p, 1), 26u);
+}
+
+TEST(Wcla, SubTransactionCount) {
+  HcAnalysisConfig cfg;
+  cfg.nominal_burst = 16;
+  EXPECT_EQ(sub_transaction_count(cfg, 1), 1u);
+  EXPECT_EQ(sub_transaction_count(cfg, 16), 1u);
+  EXPECT_EQ(sub_transaction_count(cfg, 17), 2u);
+  EXPECT_EQ(sub_transaction_count(cfg, 256), 16u);
+  cfg.nominal_burst = 0;
+  EXPECT_EQ(sub_transaction_count(cfg, 256), 1u);
+}
+
+TEST(Wcla, EqualizationShrinksTheBound) {
+  AnalysisPlatform p;
+  HcAnalysisConfig equalized;
+  equalized.num_ports = 2;
+  equalized.nominal_burst = 16;
+  HcAnalysisConfig raw = equalized;
+  raw.nominal_burst = 0;  // competitors may issue 256-beat bursts
+  EXPECT_LT(wcrt_read(equalized, p, 0, 16), wcrt_read(raw, p, 0, 16));
+}
+
+TEST(Wcla, SmartConnectBoundGrowsWithGranularity) {
+  AnalysisPlatform sc;
+  sc.ar_latency = 12;
+  sc.r_latency = 11;
+  Cycle prev = 0;
+  for (std::uint32_t g : {1u, 2u, 4u, 8u}) {
+    const Cycle bound = smartconnect_wcrt_read(sc, 2, g, 256, 16);
+    EXPECT_GT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(Wcla, HyperConnectBoundBelowSmartConnectBound) {
+  // The paper's predictability argument, quantified: equalization + fixed
+  // granularity gives a much smaller worst case than variable-granularity
+  // RR over unequalized bursts.
+  AnalysisPlatform hc_p;
+  HcAnalysisConfig cfg;
+  cfg.num_ports = 2;
+  cfg.nominal_burst = 16;
+  cfg.competitor_backlog = 4;
+  AnalysisPlatform sc_p;
+  sc_p.ar_latency = 12;
+  sc_p.r_latency = 11;
+  EXPECT_LT(wcrt_read(cfg, hc_p, 0, 16),
+            smartconnect_wcrt_read(sc_p, 2, 4, 256, 16));
+}
+
+TEST(Wcla, ReservationFeasibility) {
+  AnalysisPlatform p;
+  p.mem_latency = 24;
+  p.turnaround = 1;  // S(16) = 41
+  HcAnalysisConfig cfg;
+  cfg.num_ports = 2;
+  cfg.nominal_burst = 16;
+  cfg.reservation_period = 2000;
+  cfg.budgets = {24, 24};  // 48 * 41 = 1968 <= 2000
+  EXPECT_TRUE(reservation_feasible(cfg, p));
+  cfg.budgets = {30, 30};  // 60 * 41 = 2460 > 2000
+  EXPECT_FALSE(reservation_feasible(cfg, p));
+}
+
+/// Measures the observed worst-case read latency of a victim issuing
+/// `beats`-beat reads against `n_ports - 1` adversarial greedy masters.
+Cycle observed_worst_read(std::uint32_t n_ports, BeatCount victim_beats,
+                          BeatCount adversary_beats, BeatCount nominal,
+                          Cycle period, std::vector<std::uint32_t> budgets,
+                          const MemoryControllerConfig& mc) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = n_ports;
+  cfg.nominal_burst = nominal;
+  cfg.max_outstanding = 4;
+  cfg.reservation_period = period;
+  cfg.initial_budgets = std::move(budgets);
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, mc);
+  hc.register_with(sim);
+  sim.add(mem);
+
+  TrafficConfig vcfg;
+  vcfg.direction = TrafficDirection::kRead;
+  vcfg.burst_beats = victim_beats;
+  vcfg.gap_cycles = 97;  // sparse, misaligned with periods
+  vcfg.max_outstanding = 1;
+  vcfg.base = 0x4000'0000;
+  TrafficGenerator victim("victim", hc.port_link(0), vcfg);
+  sim.add(victim);
+
+  std::vector<std::unique_ptr<TrafficGenerator>> adversaries;
+  for (PortIndex pt = 1; pt < n_ports; ++pt) {
+    TrafficConfig a;
+    a.direction = TrafficDirection::kRead;
+    a.burst_beats = adversary_beats;
+    a.max_outstanding = 4;
+    a.base = 0x6000'0000 + (static_cast<Addr>(pt) << 24);
+    adversaries.push_back(std::make_unique<TrafficGenerator>(
+        "adv" + std::to_string(pt), hc.port_link(pt), a));
+    sim.add(*adversaries.back());
+  }
+  sim.reset();
+  sim.run(300000);
+  return victim.stats().read_latency.count() > 0
+             ? victim.stats().read_latency.max()
+             : 0;
+}
+
+/// (ports, victim beats, adversary beats, nominal)
+using WclaParams = std::tuple<std::uint32_t, BeatCount, BeatCount, BeatCount>;
+
+class WclaSoundness : public ::testing::TestWithParam<WclaParams> {};
+
+TEST_P(WclaSoundness, BoundDominatesObservedWorstCase) {
+  const auto [ports, victim_beats, adversary_beats, nominal] = GetParam();
+  MemoryControllerConfig mc;
+  mc.row_hit_latency = 10;
+  mc.row_miss_latency = 24;
+  mc.turnaround = 1;
+
+  const Cycle observed = observed_worst_read(ports, victim_beats,
+                                             adversary_beats, nominal, 0, {},
+                                             mc);
+  ASSERT_GT(observed, 0u);
+
+  HcAnalysisConfig cfg;
+  cfg.num_ports = ports;
+  cfg.nominal_burst = nominal;
+  cfg.max_unequalized_beats = adversary_beats;
+  cfg.competitor_backlog = 4;
+  const Cycle bound = wcrt_read(cfg, platform_for(mc), 0, victim_beats);
+
+  EXPECT_LE(observed, bound) << "unsound bound";
+  // Tightness: the bound must be within 12x of what an adversarial (but
+  // not exhaustive) simulation can provoke.
+  EXPECT_LE(bound, observed * 12) << "uselessly loose bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WclaSoundness,
+    ::testing::Values(WclaParams{2, 1, 16, 16}, WclaParams{2, 16, 16, 16},
+                      WclaParams{2, 64, 16, 16}, WclaParams{2, 16, 256, 16},
+                      WclaParams{4, 16, 16, 16}, WclaParams{4, 1, 256, 16},
+                      WclaParams{2, 16, 256, 0}, WclaParams{3, 32, 64, 8}));
+
+TEST(WclaReservation, SupplyBoundHoldsUnderReservation) {
+  MemoryControllerConfig mc;
+  mc.row_hit_latency = 10;
+  mc.row_miss_latency = 24;
+  mc.turnaround = 1;
+  const Cycle period = 2000;
+  const std::vector<std::uint32_t> budgets = {4, 20};
+
+  const Cycle observed =
+      observed_worst_read(2, 16, 16, 16, period, budgets, mc);
+  ASSERT_GT(observed, 0u);
+
+  HcAnalysisConfig cfg;
+  cfg.num_ports = 2;
+  cfg.nominal_burst = 16;
+  cfg.reservation_period = period;
+  cfg.budgets = budgets;
+  cfg.competitor_backlog = 4;
+  ASSERT_TRUE(reservation_feasible(cfg, platform_for(mc)));
+  const Cycle bound = wcrt_read(cfg, platform_for(mc), 0, 16);
+  EXPECT_LE(observed, bound);
+}
+
+}  // namespace
+}  // namespace axihc
