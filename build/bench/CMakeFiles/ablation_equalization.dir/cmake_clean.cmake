@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_equalization.dir/ablation_equalization.cpp.o"
+  "CMakeFiles/ablation_equalization.dir/ablation_equalization.cpp.o.d"
+  "ablation_equalization"
+  "ablation_equalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_equalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ooo.dir/ablation_ooo.cpp.o"
+  "CMakeFiles/ablation_ooo.dir/ablation_ooo.cpp.o.d"
+  "ablation_ooo"
+  "ablation_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_channel_latency.dir/fig3a_channel_latency.cpp.o"
+  "CMakeFiles/fig3a_channel_latency.dir/fig3a_channel_latency.cpp.o.d"
+  "fig3a_channel_latency"
+  "fig3a_channel_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_channel_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

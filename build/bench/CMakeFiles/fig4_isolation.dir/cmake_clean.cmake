@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_isolation.dir/fig4_isolation.cpp.o"
+  "CMakeFiles/fig4_isolation.dir/fig4_isolation.cpp.o.d"
+  "fig4_isolation"
+  "fig4_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_contention.dir/fig5_contention.cpp.o"
+  "CMakeFiles/fig5_contention.dir/fig5_contention.cpp.o.d"
+  "fig5_contention"
+  "fig5_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_sizing.dir/reservation_sizing.cpp.o"
+  "CMakeFiles/reservation_sizing.dir/reservation_sizing.cpp.o.d"
+  "reservation_sizing"
+  "reservation_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcla_bounds.dir/wcla_bounds.cpp.o"
+  "CMakeFiles/wcla_bounds.dir/wcla_bounds.cpp.o.d"
+  "wcla_bounds"
+  "wcla_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcla_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_reconfig.dir/runtime_reconfig.cpp.o"
+  "CMakeFiles/runtime_reconfig.dir/runtime_reconfig.cpp.o.d"
+  "runtime_reconfig"
+  "runtime_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_task_offload.dir/sw_task_offload.cpp.o"
+  "CMakeFiles/sw_task_offload.dir/sw_task_offload.cpp.o.d"
+  "sw_task_offload"
+  "sw_task_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_task_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("stats")
+subdirs("axi")
+subdirs("mem")
+subdirs("ha")
+subdirs("interconnect")
+subdirs("hyperconnect")
+subdirs("driver")
+subdirs("hypervisor")
+subdirs("ipxact")
+subdirs("resources")
+subdirs("analysis")
+subdirs("ps")
+subdirs("platform")
+subdirs("config")
+subdirs("soc")

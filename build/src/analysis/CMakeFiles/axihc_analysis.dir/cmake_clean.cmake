@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_analysis.dir/job_analysis.cpp.o"
+  "CMakeFiles/axihc_analysis.dir/job_analysis.cpp.o.d"
+  "CMakeFiles/axihc_analysis.dir/wcla.cpp.o"
+  "CMakeFiles/axihc_analysis.dir/wcla.cpp.o.d"
+  "libaxihc_analysis.a"
+  "libaxihc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axi/axi.cpp" "src/axi/CMakeFiles/axihc_axi.dir/axi.cpp.o" "gcc" "src/axi/CMakeFiles/axihc_axi.dir/axi.cpp.o.d"
+  "/root/repo/src/axi/bridge.cpp" "src/axi/CMakeFiles/axihc_axi.dir/bridge.cpp.o" "gcc" "src/axi/CMakeFiles/axihc_axi.dir/bridge.cpp.o.d"
+  "/root/repo/src/axi/loopback_slave.cpp" "src/axi/CMakeFiles/axihc_axi.dir/loopback_slave.cpp.o" "gcc" "src/axi/CMakeFiles/axihc_axi.dir/loopback_slave.cpp.o.d"
+  "/root/repo/src/axi/monitor.cpp" "src/axi/CMakeFiles/axihc_axi.dir/monitor.cpp.o" "gcc" "src/axi/CMakeFiles/axihc_axi.dir/monitor.cpp.o.d"
+  "/root/repo/src/axi/trace_format.cpp" "src/axi/CMakeFiles/axihc_axi.dir/trace_format.cpp.o" "gcc" "src/axi/CMakeFiles/axihc_axi.dir/trace_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

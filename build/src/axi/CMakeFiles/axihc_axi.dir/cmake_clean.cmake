@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_axi.dir/axi.cpp.o"
+  "CMakeFiles/axihc_axi.dir/axi.cpp.o.d"
+  "CMakeFiles/axihc_axi.dir/bridge.cpp.o"
+  "CMakeFiles/axihc_axi.dir/bridge.cpp.o.d"
+  "CMakeFiles/axihc_axi.dir/loopback_slave.cpp.o"
+  "CMakeFiles/axihc_axi.dir/loopback_slave.cpp.o.d"
+  "CMakeFiles/axihc_axi.dir/monitor.cpp.o"
+  "CMakeFiles/axihc_axi.dir/monitor.cpp.o.d"
+  "CMakeFiles/axihc_axi.dir/trace_format.cpp.o"
+  "CMakeFiles/axihc_axi.dir/trace_format.cpp.o.d"
+  "libaxihc_axi.a"
+  "libaxihc_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

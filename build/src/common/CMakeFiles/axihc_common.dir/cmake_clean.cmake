@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_common.dir/log.cpp.o"
+  "CMakeFiles/axihc_common.dir/log.cpp.o.d"
+  "libaxihc_common.a"
+  "libaxihc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_config.dir/ini.cpp.o"
+  "CMakeFiles/axihc_config.dir/ini.cpp.o.d"
+  "CMakeFiles/axihc_config.dir/system_builder.cpp.o"
+  "CMakeFiles/axihc_config.dir/system_builder.cpp.o.d"
+  "libaxihc_config.a"
+  "libaxihc_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_driver.dir/hyperconnect_driver.cpp.o"
+  "CMakeFiles/axihc_driver.dir/hyperconnect_driver.cpp.o.d"
+  "CMakeFiles/axihc_driver.dir/register_master.cpp.o"
+  "CMakeFiles/axihc_driver.dir/register_master.cpp.o.d"
+  "libaxihc_driver.a"
+  "libaxihc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ha/dma_engine.cpp" "src/ha/CMakeFiles/axihc_ha.dir/dma_engine.cpp.o" "gcc" "src/ha/CMakeFiles/axihc_ha.dir/dma_engine.cpp.o.d"
+  "/root/repo/src/ha/dnn_accelerator.cpp" "src/ha/CMakeFiles/axihc_ha.dir/dnn_accelerator.cpp.o" "gcc" "src/ha/CMakeFiles/axihc_ha.dir/dnn_accelerator.cpp.o.d"
+  "/root/repo/src/ha/master_base.cpp" "src/ha/CMakeFiles/axihc_ha.dir/master_base.cpp.o" "gcc" "src/ha/CMakeFiles/axihc_ha.dir/master_base.cpp.o.d"
+  "/root/repo/src/ha/trace_player.cpp" "src/ha/CMakeFiles/axihc_ha.dir/trace_player.cpp.o" "gcc" "src/ha/CMakeFiles/axihc_ha.dir/trace_player.cpp.o.d"
+  "/root/repo/src/ha/traffic_gen.cpp" "src/ha/CMakeFiles/axihc_ha.dir/traffic_gen.cpp.o" "gcc" "src/ha/CMakeFiles/axihc_ha.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/axihc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_ha.dir/dma_engine.cpp.o"
+  "CMakeFiles/axihc_ha.dir/dma_engine.cpp.o.d"
+  "CMakeFiles/axihc_ha.dir/dnn_accelerator.cpp.o"
+  "CMakeFiles/axihc_ha.dir/dnn_accelerator.cpp.o.d"
+  "CMakeFiles/axihc_ha.dir/master_base.cpp.o"
+  "CMakeFiles/axihc_ha.dir/master_base.cpp.o.d"
+  "CMakeFiles/axihc_ha.dir/trace_player.cpp.o"
+  "CMakeFiles/axihc_ha.dir/trace_player.cpp.o.d"
+  "CMakeFiles/axihc_ha.dir/traffic_gen.cpp.o"
+  "CMakeFiles/axihc_ha.dir/traffic_gen.cpp.o.d"
+  "libaxihc_ha.a"
+  "libaxihc_ha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_ha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyperconnect/efifo.cpp" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/efifo.cpp.o" "gcc" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/efifo.cpp.o.d"
+  "/root/repo/src/hyperconnect/exbar.cpp" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/exbar.cpp.o" "gcc" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/exbar.cpp.o.d"
+  "/root/repo/src/hyperconnect/hyperconnect.cpp" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/hyperconnect.cpp.o" "gcc" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/hyperconnect.cpp.o.d"
+  "/root/repo/src/hyperconnect/register_file.cpp" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/register_file.cpp.o" "gcc" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/register_file.cpp.o.d"
+  "/root/repo/src/hyperconnect/transaction_supervisor.cpp" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/transaction_supervisor.cpp.o" "gcc" "src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/transaction_supervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/axihc_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_hyperconnect.dir/efifo.cpp.o"
+  "CMakeFiles/axihc_hyperconnect.dir/efifo.cpp.o.d"
+  "CMakeFiles/axihc_hyperconnect.dir/exbar.cpp.o"
+  "CMakeFiles/axihc_hyperconnect.dir/exbar.cpp.o.d"
+  "CMakeFiles/axihc_hyperconnect.dir/hyperconnect.cpp.o"
+  "CMakeFiles/axihc_hyperconnect.dir/hyperconnect.cpp.o.d"
+  "CMakeFiles/axihc_hyperconnect.dir/register_file.cpp.o"
+  "CMakeFiles/axihc_hyperconnect.dir/register_file.cpp.o.d"
+  "CMakeFiles/axihc_hyperconnect.dir/transaction_supervisor.cpp.o"
+  "CMakeFiles/axihc_hyperconnect.dir/transaction_supervisor.cpp.o.d"
+  "libaxihc_hyperconnect.a"
+  "libaxihc_hyperconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_hyperconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/domain.cpp" "src/hypervisor/CMakeFiles/axihc_hypervisor.dir/domain.cpp.o" "gcc" "src/hypervisor/CMakeFiles/axihc_hypervisor.dir/domain.cpp.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cpp" "src/hypervisor/CMakeFiles/axihc_hypervisor.dir/hypervisor.cpp.o" "gcc" "src/hypervisor/CMakeFiles/axihc_hypervisor.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/integrator.cpp" "src/hypervisor/CMakeFiles/axihc_hypervisor.dir/integrator.cpp.o" "gcc" "src/hypervisor/CMakeFiles/axihc_hypervisor.dir/integrator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/axihc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipxact/CMakeFiles/axihc_ipxact.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/axihc_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

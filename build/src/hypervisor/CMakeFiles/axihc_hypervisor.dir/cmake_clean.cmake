@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_hypervisor.dir/domain.cpp.o"
+  "CMakeFiles/axihc_hypervisor.dir/domain.cpp.o.d"
+  "CMakeFiles/axihc_hypervisor.dir/hypervisor.cpp.o"
+  "CMakeFiles/axihc_hypervisor.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/axihc_hypervisor.dir/integrator.cpp.o"
+  "CMakeFiles/axihc_hypervisor.dir/integrator.cpp.o.d"
+  "libaxihc_hypervisor.a"
+  "libaxihc_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_interconnect.dir/interconnect.cpp.o"
+  "CMakeFiles/axihc_interconnect.dir/interconnect.cpp.o.d"
+  "CMakeFiles/axihc_interconnect.dir/smartconnect.cpp.o"
+  "CMakeFiles/axihc_interconnect.dir/smartconnect.cpp.o.d"
+  "libaxihc_interconnect.a"
+  "libaxihc_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipxact/ipxact.cpp" "src/ipxact/CMakeFiles/axihc_ipxact.dir/ipxact.cpp.o" "gcc" "src/ipxact/CMakeFiles/axihc_ipxact.dir/ipxact.cpp.o.d"
+  "/root/repo/src/ipxact/xml.cpp" "src/ipxact/CMakeFiles/axihc_ipxact.dir/xml.cpp.o" "gcc" "src/ipxact/CMakeFiles/axihc_ipxact.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/axihc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_ipxact.dir/ipxact.cpp.o"
+  "CMakeFiles/axihc_ipxact.dir/ipxact.cpp.o.d"
+  "CMakeFiles/axihc_ipxact.dir/xml.cpp.o"
+  "CMakeFiles/axihc_ipxact.dir/xml.cpp.o.d"
+  "libaxihc_ipxact.a"
+  "libaxihc_ipxact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_ipxact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cpp" "src/mem/CMakeFiles/axihc_mem.dir/backing_store.cpp.o" "gcc" "src/mem/CMakeFiles/axihc_mem.dir/backing_store.cpp.o.d"
+  "/root/repo/src/mem/dual_port_controller.cpp" "src/mem/CMakeFiles/axihc_mem.dir/dual_port_controller.cpp.o" "gcc" "src/mem/CMakeFiles/axihc_mem.dir/dual_port_controller.cpp.o.d"
+  "/root/repo/src/mem/memory_controller.cpp" "src/mem/CMakeFiles/axihc_mem.dir/memory_controller.cpp.o" "gcc" "src/mem/CMakeFiles/axihc_mem.dir/memory_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_mem.dir/backing_store.cpp.o"
+  "CMakeFiles/axihc_mem.dir/backing_store.cpp.o.d"
+  "CMakeFiles/axihc_mem.dir/dual_port_controller.cpp.o"
+  "CMakeFiles/axihc_mem.dir/dual_port_controller.cpp.o.d"
+  "CMakeFiles/axihc_mem.dir/memory_controller.cpp.o"
+  "CMakeFiles/axihc_mem.dir/memory_controller.cpp.o.d"
+  "libaxihc_mem.a"
+  "libaxihc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

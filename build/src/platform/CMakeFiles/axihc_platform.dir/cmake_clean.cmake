@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_platform.dir/platform.cpp.o"
+  "CMakeFiles/axihc_platform.dir/platform.cpp.o.d"
+  "libaxihc_platform.a"
+  "libaxihc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

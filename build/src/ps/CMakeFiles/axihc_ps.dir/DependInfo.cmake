@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ps/ha_control_slave.cpp" "src/ps/CMakeFiles/axihc_ps.dir/ha_control_slave.cpp.o" "gcc" "src/ps/CMakeFiles/axihc_ps.dir/ha_control_slave.cpp.o.d"
+  "/root/repo/src/ps/interrupt.cpp" "src/ps/CMakeFiles/axihc_ps.dir/interrupt.cpp.o" "gcc" "src/ps/CMakeFiles/axihc_ps.dir/interrupt.cpp.o.d"
+  "/root/repo/src/ps/sw_task.cpp" "src/ps/CMakeFiles/axihc_ps.dir/sw_task.cpp.o" "gcc" "src/ps/CMakeFiles/axihc_ps.dir/sw_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ha/CMakeFiles/axihc_ha.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/axihc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

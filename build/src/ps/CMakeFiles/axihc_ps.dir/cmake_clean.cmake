@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_ps.dir/ha_control_slave.cpp.o"
+  "CMakeFiles/axihc_ps.dir/ha_control_slave.cpp.o.d"
+  "CMakeFiles/axihc_ps.dir/interrupt.cpp.o"
+  "CMakeFiles/axihc_ps.dir/interrupt.cpp.o.d"
+  "CMakeFiles/axihc_ps.dir/sw_task.cpp.o"
+  "CMakeFiles/axihc_ps.dir/sw_task.cpp.o.d"
+  "libaxihc_ps.a"
+  "libaxihc_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_resources.dir/resources.cpp.o"
+  "CMakeFiles/axihc_resources.dir/resources.cpp.o.d"
+  "libaxihc_resources.a"
+  "libaxihc_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/axihc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/axihc_sim.dir/trace.cpp.o"
+  "CMakeFiles/axihc_sim.dir/trace.cpp.o.d"
+  "libaxihc_sim.a"
+  "libaxihc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_soc.dir/soc.cpp.o"
+  "CMakeFiles/axihc_soc.dir/soc.cpp.o.d"
+  "libaxihc_soc.a"
+  "libaxihc_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

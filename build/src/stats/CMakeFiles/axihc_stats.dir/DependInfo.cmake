@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bandwidth_probe.cpp" "src/stats/CMakeFiles/axihc_stats.dir/bandwidth_probe.cpp.o" "gcc" "src/stats/CMakeFiles/axihc_stats.dir/bandwidth_probe.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/stats/CMakeFiles/axihc_stats.dir/stats.cpp.o" "gcc" "src/stats/CMakeFiles/axihc_stats.dir/stats.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/axihc_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/axihc_stats.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_stats.dir/bandwidth_probe.cpp.o"
+  "CMakeFiles/axihc_stats.dir/bandwidth_probe.cpp.o.d"
+  "CMakeFiles/axihc_stats.dir/stats.cpp.o"
+  "CMakeFiles/axihc_stats.dir/stats.cpp.o.d"
+  "CMakeFiles/axihc_stats.dir/table.cpp.o"
+  "CMakeFiles/axihc_stats.dir/table.cpp.o.d"
+  "libaxihc_stats.a"
+  "libaxihc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

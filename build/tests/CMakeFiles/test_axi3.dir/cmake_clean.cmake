@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axi3.dir/test_axi3.cpp.o"
+  "CMakeFiles/test_axi3.dir/test_axi3.cpp.o.d"
+  "test_axi3"
+  "test_axi3.pdb"
+  "test_axi3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axi3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

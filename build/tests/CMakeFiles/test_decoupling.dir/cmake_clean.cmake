@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decoupling.dir/test_decoupling.cpp.o"
+  "CMakeFiles/test_decoupling.dir/test_decoupling.cpp.o.d"
+  "test_decoupling"
+  "test_decoupling.pdb"
+  "test_decoupling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_port.dir/test_dual_port.cpp.o"
+  "CMakeFiles/test_dual_port.dir/test_dual_port.cpp.o.d"
+  "test_dual_port"
+  "test_dual_port.pdb"
+  "test_dual_port[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_efifo.dir/test_efifo.cpp.o"
+  "CMakeFiles/test_efifo.dir/test_efifo.cpp.o.d"
+  "test_efifo"
+  "test_efifo.pdb"
+  "test_efifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_efifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

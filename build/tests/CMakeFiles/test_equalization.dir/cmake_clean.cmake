@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equalization.dir/test_equalization.cpp.o"
+  "CMakeFiles/test_equalization.dir/test_equalization.cpp.o.d"
+  "test_equalization"
+  "test_equalization.pdb"
+  "test_equalization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exbar.dir/test_exbar.cpp.o"
+  "CMakeFiles/test_exbar.dir/test_exbar.cpp.o.d"
+  "test_exbar"
+  "test_exbar.pdb"
+  "test_exbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyperconnect.dir/test_hyperconnect.cpp.o"
+  "CMakeFiles/test_hyperconnect.dir/test_hyperconnect.cpp.o.d"
+  "test_hyperconnect"
+  "test_hyperconnect.pdb"
+  "test_hyperconnect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyperconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipxact.dir/test_ipxact.cpp.o"
+  "CMakeFiles/test_ipxact.dir/test_ipxact.cpp.o.d"
+  "test_ipxact"
+  "test_ipxact.pdb"
+  "test_ipxact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipxact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_analysis.dir/test_job_analysis.cpp.o"
+  "CMakeFiles/test_job_analysis.dir/test_job_analysis.cpp.o.d"
+  "test_job_analysis"
+  "test_job_analysis.pdb"
+  "test_job_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

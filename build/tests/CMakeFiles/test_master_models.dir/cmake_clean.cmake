@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_master_models.dir/test_master_models.cpp.o"
+  "CMakeFiles/test_master_models.dir/test_master_models.cpp.o.d"
+  "test_master_models"
+  "test_master_models.pdb"
+  "test_master_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_master_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_controller.dir/test_memory_controller.cpp.o"
+  "CMakeFiles/test_memory_controller.dir/test_memory_controller.cpp.o.d"
+  "test_memory_controller"
+  "test_memory_controller.pdb"
+  "test_memory_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooo.dir/test_ooo.cpp.o"
+  "CMakeFiles/test_ooo.dir/test_ooo.cpp.o.d"
+  "test_ooo"
+  "test_ooo.pdb"
+  "test_ooo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

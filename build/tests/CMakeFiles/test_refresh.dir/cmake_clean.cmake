@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refresh.dir/test_refresh.cpp.o"
+  "CMakeFiles/test_refresh.dir/test_refresh.cpp.o.d"
+  "test_refresh"
+  "test_refresh.pdb"
+  "test_refresh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

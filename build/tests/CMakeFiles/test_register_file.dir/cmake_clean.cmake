@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_file.dir/test_register_file.cpp.o"
+  "CMakeFiles/test_register_file.dir/test_register_file.cpp.o.d"
+  "test_register_file"
+  "test_register_file.pdb"
+  "test_register_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

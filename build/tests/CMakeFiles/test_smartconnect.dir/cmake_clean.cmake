@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smartconnect.dir/test_smartconnect.cpp.o"
+  "CMakeFiles/test_smartconnect.dir/test_smartconnect.cpp.o.d"
+  "test_smartconnect"
+  "test_smartconnect.pdb"
+  "test_smartconnect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smartconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_smartconnect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/test_stress.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_stress.dir/test_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ps/CMakeFiles/axihc_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/axihc_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/axihc_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/axihc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipxact/CMakeFiles/axihc_ipxact.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/axihc_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/axihc_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/axihc_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/axihc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/axihc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ha/CMakeFiles/axihc_ha.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/axihc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperconnect/CMakeFiles/axihc_hyperconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/axihc_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/axi/CMakeFiles/axihc_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axihc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/axihc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transaction_supervisor.dir/test_transaction_supervisor.cpp.o"
+  "CMakeFiles/test_transaction_supervisor.dir/test_transaction_supervisor.cpp.o.d"
+  "test_transaction_supervisor"
+  "test_transaction_supervisor.pdb"
+  "test_transaction_supervisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transaction_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wcla.dir/test_wcla.cpp.o"
+  "CMakeFiles/test_wcla.dir/test_wcla.cpp.o.d"
+  "test_wcla"
+  "test_wcla.pdb"
+  "test_wcla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wcla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

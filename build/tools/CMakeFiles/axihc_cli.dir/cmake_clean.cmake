@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axihc_cli.dir/axihc.cpp.o"
+  "CMakeFiles/axihc_cli.dir/axihc.cpp.o.d"
+  "axihc"
+  "axihc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axihc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
