@@ -27,6 +27,19 @@ enum class BurstType : std::uint8_t { kFixed, kIncr, kWrap };
 /// AXI response code (xRESP).
 enum class Resp : std::uint8_t { kOkay, kExOkay, kSlvErr, kDecErr };
 
+/// True for the two error responses (SLVERR/DECERR).
+[[nodiscard]] constexpr bool is_error(Resp r) {
+  return r == Resp::kSlvErr || r == Resp::kDecErr;
+}
+
+/// Merge rule for responses of sub-bursts that equalization re-joins into
+/// one HA-visible transaction: keep the worst. The enum's numeric order
+/// happens to be the severity order (OKAY < EXOKAY < SLVERR < DECERR);
+/// EXOKAY never occurs here because the model carries no exclusive accesses.
+[[nodiscard]] constexpr Resp worst_resp(Resp a, Resp b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
 /// Payload of the AR and AW channels.
 struct AddrReq {
   TxnId id = 0;

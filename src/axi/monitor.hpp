@@ -40,6 +40,11 @@ class AxiMonitor final : public Component {
   /// If set, a violation throws ModelError instead of only being recorded.
   void set_throw_on_violation(bool on) { throw_on_violation_ = on; }
 
+  /// Hang watchdog: flags a violation when a direction owes progress (data
+  /// or responses are outstanding) but none happens for `cycles` in a row.
+  /// One violation per stall episode. 0 (default) disables the check.
+  void set_hang_timeout(Cycle cycles) { hang_timeout_ = cycles; }
+
   /// Records every forwarded AR/AW into `sink` as a trace entry (nullptr
   /// stops recording). Replay with TracePlayer.
   void set_trace_sink(std::vector<TraceEntry>* sink) { trace_sink_ = sink; }
@@ -62,6 +67,12 @@ class AxiMonitor final : public Component {
   [[nodiscard]] std::uint64_t r_beats() const { return r_beats_; }
   [[nodiscard]] std::uint64_t w_beats() const { return w_beats_; }
 
+  /// Error responses observed (legal AXI — counted, not violations).
+  [[nodiscard]] std::uint64_t r_errors() const { return r_errors_; }
+  [[nodiscard]] std::uint64_t b_errors() const { return b_errors_; }
+  /// Hang-watchdog episodes flagged (also recorded in violations()).
+  [[nodiscard]] std::uint64_t hangs_flagged() const { return hangs_flagged_; }
+
  private:
   struct OutstandingBurst {
     TxnId id = 0;
@@ -71,6 +82,9 @@ class AxiMonitor final : public Component {
   void violation(Cycle now, const std::string& what);
   /// Returns false if the request is too malformed to forward downstream.
   bool check_addr_req(Cycle now, const AddrReq& req, const char* channel);
+  /// Per-direction no-progress accounting for the hang watchdog.
+  void check_hang(Cycle now, bool owes_progress, bool progressed,
+                  Cycle& counter, bool& flagged, const char* direction);
 
   AxiLink& up_;
   AxiLink& down_;
@@ -89,6 +103,15 @@ class AxiMonitor final : public Component {
   std::uint64_t writes_completed_ = 0;
   std::uint64_t r_beats_ = 0;
   std::uint64_t w_beats_ = 0;
+  std::uint64_t r_errors_ = 0;
+  std::uint64_t b_errors_ = 0;
+
+  Cycle hang_timeout_ = 0;
+  Cycle read_idle_ = 0;
+  Cycle write_idle_ = 0;
+  bool read_hang_flagged_ = false;
+  bool write_hang_flagged_ = false;
+  std::uint64_t hangs_flagged_ = 0;
 };
 
 }  // namespace axihc

@@ -32,4 +32,25 @@ inline constexpr BeatCount kMaxAxi4BurstBeats = 256;
 /// Maximum burst length allowed by AXI3.
 inline constexpr BeatCount kMaxAxi3BurstBeats = 16;
 
+/// Half-open byte range [base, base + bytes) in the physical address space.
+/// Used by the memory path for address decode (mapped / error-synthesizing
+/// windows).
+struct AddrRange {
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] constexpr bool contains(Addr addr) const {
+    return addr >= base && addr - base < bytes;
+  }
+  /// True if [addr, addr + len) lies entirely inside the range.
+  [[nodiscard]] constexpr bool contains_span(Addr addr,
+                                             std::uint64_t len) const {
+    return addr >= base && len <= bytes && addr - base <= bytes - len;
+  }
+  /// True if [addr, addr + len) overlaps the range anywhere.
+  [[nodiscard]] constexpr bool overlaps(Addr addr, std::uint64_t len) const {
+    return addr < base + bytes && base < addr + len;
+  }
+};
+
 }  // namespace axihc

@@ -68,6 +68,10 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
       static_cast<std::uint32_t>(system->get_u64("ports", 2));
   cfg.mem = platform_.mem;
 
+  // Bounded address decode: accesses beyond mem_bytes get DECERR.
+  const std::uint64_t mem_bytes = system->get_u64("mem_bytes", 0);
+  if (mem_bytes != 0) cfg.mem.mapped_ranges.push_back({0, mem_bytes});
+
   if (const IniSection* hc = ini.section("hyperconnect")) {
     cfg.hc.nominal_burst =
         static_cast<BeatCount>(hc->get_u64("nominal_burst", 16));
@@ -75,6 +79,7 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
         static_cast<std::uint32_t>(hc->get_u64("max_outstanding", 4));
     cfg.hc.reservation_period = hc->get_u64("reservation_period", 0);
     cfg.hc.initial_budgets = hc->get_u32_list("budgets");
+    cfg.hc.prot_timeout = hc->get_u64("prot_timeout", 0);
     cfg.hc.out_of_order = hc->get_bool("out_of_order", false);
     if (hc->get_string("arbitration", "round_robin") == "qos_priority") {
       cfg.hc.arbitration = ArbitrationPolicy::kQosPriority;
@@ -83,6 +88,33 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
       cfg.mem.scheduling = MemScheduling::kFrFcfs;
       cfg.mem.id_order_mask = 0xFFFF0000;
     }
+  }
+
+  // [faultN] sections: mem_slverr windows configure the memory controller;
+  // everything else becomes an injector fault spec.
+  scenario_.seed = system->get_u64("fault_seed", 0);
+  for (const IniSection* fs : ini.sections_with_prefix("fault")) {
+    const std::string kind = fs->get_string("kind", "");
+    if (kind == "mem_slverr") {
+      cfg.mem.slverr_ranges.push_back(
+          {fs->get_u64("base", 0), fs->get_u64("bytes", 4096)});
+      continue;
+    }
+    const auto parsed = fault_kind_from_string(kind);
+    AXIHC_CHECK_MSG(parsed.has_value(),
+                    "[" << fs->name() << "] unknown fault kind '" << kind
+                        << "'");
+    FaultSpec spec;
+    spec.kind = *parsed;
+    spec.port = static_cast<PortIndex>(fs->get_u64("port", 0));
+    AXIHC_CHECK_MSG(spec.port < cfg.num_ports,
+                    "[" << fs->name() << "] port " << spec.port
+                        << " out of range");
+    spec.start = fs->get_u64("start", 0);
+    spec.duration = fs->get_u64("duration", 0);
+    spec.param = fs->get_u64("param", 0);
+    spec.probability = fs->get_double("probability", 1.0);
+    scenario_.faults.push_back(spec);
   }
 
   soc_ = std::make_unique<SocSystem>(cfg);
@@ -100,9 +132,30 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
   soc_->sim().reset();
 }
 
+AxiLink& ConfiguredSystem::attach_port(PortIndex port) {
+  bool targeted = false;
+  for (const FaultSpec& f : scenario_.faults) {
+    if (f.port == port) {
+      targeted = true;
+      break;
+    }
+  }
+  if (!targeted) return soc_->port(port);
+  fault_links_.push_back(
+      std::make_unique<AxiLink>("fault_link" + std::to_string(port)));
+  AxiLink& ha_side = *fault_links_.back();
+  ha_side.register_with(soc_->sim());
+  injectors_.push_back(std::make_unique<FaultInjector>(
+      "fault_inj" + std::to_string(port), ha_side, soc_->port(port),
+      scenario_, port));
+  soc_->add(*injectors_.back());
+  return ha_side;
+}
+
 void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
   const std::string type = section.get_string("type", "");
   const std::string name = section.name();
+  AxiLink& link = attach_port(port);
   const bool ooo = soc_->config().kind == InterconnectKind::kHyperConnect &&
                    soc_->config().hc.out_of_order;
 
@@ -120,7 +173,7 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
                                                        (Addr{port} << 26));
     cfg.tolerate_out_of_order = ooo;
     masters_.push_back(
-        std::make_unique<DmaEngine>(name, soc_->port(port), cfg));
+        std::make_unique<DmaEngine>(name, link, cfg));
   } else if (type == "traffic") {
     TrafficConfig cfg;
     cfg.direction = direction_by_name(section.get_string("direction", "read"));
@@ -132,7 +185,7 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.base = section.get_u64("base", 0x4000'0000 + (Addr{port} << 26));
     cfg.tolerate_out_of_order = ooo;
     masters_.push_back(
-        std::make_unique<TrafficGenerator>(name, soc_->port(port), cfg));
+        std::make_unique<TrafficGenerator>(name, link, cfg));
   } else if (type == "dnn") {
     DnnConfig cfg;
     cfg.layers = network_by_name(section.get_string("network", "googlenet"));
@@ -148,7 +201,7 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.max_frames = section.get_u64("max_frames", 0);
     cfg.tolerate_out_of_order = ooo;
     masters_.push_back(
-        std::make_unique<DnnAccelerator>(name, soc_->port(port), cfg));
+        std::make_unique<DnnAccelerator>(name, link, cfg));
   } else {
     AXIHC_CHECK_MSG(false, "[" << name << "] unknown HA type '" << type
                                << "' (dma | traffic | dnn)");
@@ -169,6 +222,11 @@ const AxiMasterBase& ConfiguredSystem::ha(std::size_t i) const {
   return *masters_[i];
 }
 
+const FaultInjector& ConfiguredSystem::injector(std::size_t i) const {
+  AXIHC_CHECK(i < injectors_.size());
+  return *injectors_[i];
+}
+
 const std::string& ConfiguredSystem::ha_type(std::size_t i) const {
   AXIHC_CHECK(i < ha_types_.size());
   return ha_types_[i];
@@ -182,7 +240,7 @@ std::string ConfiguredSystem::report() const {
      << Table::num(meter.to_us(now) / 1000.0, 2) << " ms)\n\n";
 
   Table t({"HA", "type", "bytes read", "bytes written", "read BW (MB/s)",
-           "write BW (MB/s)", "max read lat (cyc)"});
+           "write BW (MB/s)", "max read lat (cyc)", "failed"});
   for (std::size_t i = 0; i < masters_.size(); ++i) {
     const MasterStats& s = masters_[i]->stats();
     t.add_row(
@@ -191,7 +249,8 @@ std::string ConfiguredSystem::report() const {
          Table::num(meter.bytes_per_second(s.bytes_read, now) / 1e6, 1),
          Table::num(meter.bytes_per_second(s.bytes_written, now) / 1e6, 1),
          s.read_latency.count() ? std::to_string(s.read_latency.max())
-                                : "-"});
+                                : "-",
+         std::to_string(s.reads_failed + s.writes_failed)});
   }
   t.print_markdown(os);
   return os.str();

@@ -24,6 +24,19 @@
 //   type = dnn
 //   network = googlenet              ; googlenet | alexnet
 //   scale = 16
+//
+//   [fault0]                         ; optional fault-injection scenario
+//   kind = stall_w                   ; see fault/scenario.hpp; or mem_slverr
+//   port = 0
+//   start = 2000
+//   duration = 0                     ; 0 = forever
+//
+// Fault-targeted ports get a FaultInjector spliced between the HA and the
+// interconnect; "mem_slverr" entries instead configure an SLVERR window
+// (base/bytes keys) on the memory controller. [system] fault_seed seeds the
+// injectors; [system] mem_bytes bounds the decoded address space (accesses
+// beyond it get DECERR); [hyperconnect] prot_timeout arms the per-port
+// protection units.
 #pragma once
 
 #include <memory>
@@ -31,6 +44,7 @@
 #include <vector>
 
 #include "config/ini.hpp"
+#include "fault/fault_injector.hpp"
 #include "ha/dma_engine.hpp"
 #include "ha/dnn_accelerator.hpp"
 #include "ha/traffic_gen.hpp"
@@ -58,14 +72,30 @@ class ConfiguredSystem {
   /// Renders the per-HA statistics table (markdown).
   [[nodiscard]] std::string report() const;
 
+  /// The parsed fault scenario ([faultN] sections; empty when none).
+  [[nodiscard]] const FaultScenario& fault_scenario() const {
+    return scenario_;
+  }
+  [[nodiscard]] std::size_t injector_count() const {
+    return injectors_.size();
+  }
+  [[nodiscard]] const FaultInjector& injector(std::size_t i) const;
+
  private:
   void add_ha(const IniSection& section, PortIndex port);
+  /// The link the HA on `port` should master: the interconnect port itself,
+  /// or a fresh intermediate link behind a FaultInjector when the scenario
+  /// targets this port.
+  AxiLink& attach_port(PortIndex port);
 
   Platform platform_;
   Cycle configured_cycles_ = 1'000'000;
   std::unique_ptr<SocSystem> soc_;
   std::vector<std::unique_ptr<AxiMasterBase>> masters_;
   std::vector<std::string> ha_types_;
+  FaultScenario scenario_;
+  std::vector<std::unique_ptr<AxiLink>> fault_links_;
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
 };
 
 /// Parses + builds in one call (throws ModelError with a line/section

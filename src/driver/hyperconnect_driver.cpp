@@ -42,6 +42,15 @@ void HyperConnectDriver::set_coupled(PortIndex port, bool coupled) {
   rm_.write_reg(hcregs::port_ctrl(port), coupled ? 1 : 0);
 }
 
+void HyperConnectDriver::set_prot_timeout(Cycle cycles) {
+  rm_.write_reg(hcregs::kProtTimeout, cycles);
+}
+
+void HyperConnectDriver::clear_fault(PortIndex port) {
+  check_port(port);
+  rm_.write_reg(hcregs::fault_status(port), 0);
+}
+
 void HyperConnectDriver::apply_reservation(
     Cycle period, const std::vector<std::uint32_t>& budgets) {
   AXIHC_CHECK(budgets.size() == num_ports_);
@@ -61,6 +70,24 @@ void HyperConnectDriver::read_txn_count(PortIndex port,
                                         RegisterMaster::ReadCallback cb) {
   check_port(port);
   rm_.read_reg(hcregs::txn_count(port), std::move(cb));
+}
+
+void HyperConnectDriver::read_fault_status(PortIndex port,
+                                           RegisterMaster::ReadCallback cb) {
+  check_port(port);
+  rm_.read_reg(hcregs::fault_status(port), std::move(cb));
+}
+
+void HyperConnectDriver::read_fault_count(PortIndex port,
+                                          RegisterMaster::ReadCallback cb) {
+  check_port(port);
+  rm_.read_reg(hcregs::fault_count(port), std::move(cb));
+}
+
+void HyperConnectDriver::read_fault_cycle(PortIndex port,
+                                          RegisterMaster::ReadCallback cb) {
+  check_port(port);
+  rm_.read_reg(hcregs::fault_cycle(port), std::move(cb));
 }
 
 }  // namespace axihc

@@ -26,6 +26,12 @@ class HyperConnectDriver {
   void set_budget(PortIndex port, std::uint32_t budget);
   void set_coupled(PortIndex port, bool coupled);
 
+  /// Protection-unit timeout in cycles; 0 disables stall detection.
+  void set_prot_timeout(Cycle cycles);
+  /// Acknowledges a latched fault so the port's protection unit re-arms
+  /// (any write to FAULT_STATUS clears it). Re-coupling is separate.
+  void clear_fault(PortIndex port);
+
   /// One-call reservation setup: period + all budgets.
   void apply_reservation(Cycle period,
                          const std::vector<std::uint32_t>& budgets);
@@ -33,6 +39,13 @@ class HyperConnectDriver {
   void read_id(RegisterMaster::ReadCallback cb);
   void read_num_ports(RegisterMaster::ReadCallback cb);
   void read_txn_count(PortIndex port, RegisterMaster::ReadCallback cb);
+
+  /// FAULT_STATUS: bit0 = faulted, bits[3:1] = FaultCause.
+  void read_fault_status(PortIndex port, RegisterMaster::ReadCallback cb);
+  /// Cumulative faults latched on this port since reset.
+  void read_fault_count(PortIndex port, RegisterMaster::ReadCallback cb);
+  /// Cycle of the most recent fault on this port.
+  void read_fault_cycle(PortIndex port, RegisterMaster::ReadCallback cb);
 
   /// All queued configuration traffic has completed.
   [[nodiscard]] bool idle() const { return rm_.idle(); }

@@ -144,14 +144,17 @@ void AxiMasterBase::pump(Cycle now) {
     auto& entry = reads_in_flight_[slot];
     AXIHC_CHECK(entry.beats_left > 0);
     --entry.beats_left;
+    if (is_error(beat.resp)) entry.error = true;
     stats_.bytes_read += kBusBytes;
     on_read_beat(beat, now);
     if (entry.beats_left == 0) {
       AXIHC_CHECK_MSG(beat.last, name() << ": missing RLAST");
       const AddrReq done = entry.req;
+      const bool failed = entry.error;
       reads_in_flight_.erase(reads_in_flight_.begin() +
                              static_cast<std::ptrdiff_t>(slot));
       ++stats_.reads_completed;
+      if (failed) ++stats_.reads_failed;
       stats_.read_latency.record(now - done.issued_at);
       on_read_complete(done, now);
     }
@@ -165,6 +168,7 @@ void AxiMasterBase::pump(Cycle now) {
     writes_in_flight_.erase(writes_in_flight_.begin() +
                             static_cast<std::ptrdiff_t>(slot));
     ++stats_.writes_completed;
+    if (is_error(resp.resp)) ++stats_.writes_failed;
     stats_.bytes_written += burst_bytes(done);
     stats_.write_latency.record(now - done.issued_at);
     on_write_complete(done, now);

@@ -36,6 +36,11 @@ struct MasterStats {
   std::uint64_t writes_completed = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  /// Completions carrying an error response (SLVERR/DECERR). Failed
+  /// transactions are also counted in *_completed: they terminate normally
+  /// at the protocol level, the error is in the response code.
+  std::uint64_t reads_failed = 0;
+  std::uint64_t writes_failed = 0;
   LatencyStats read_latency;   // AR issue -> final R beat
   LatencyStats write_latency;  // AW issue -> B response
 };
@@ -114,6 +119,7 @@ class AxiMasterBase : public Component {
   struct InFlight {
     AddrReq req;
     BeatCount beats_left = 0;
+    bool error = false;  // any beat so far carried SLVERR/DECERR
   };
 
   TxnId next_id();

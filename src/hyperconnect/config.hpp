@@ -48,6 +48,12 @@ struct HyperConnectConfig {
   Cycle reservation_period = 0;
   /// Per-port budgets (transactions per period). Sized/padded to num_ports.
   std::vector<std::uint32_t> initial_budgets{};
+  /// Protection-unit timeout in cycles: a port whose handshake makes no
+  /// progress for this long (or whose oldest sub-transaction outlives it
+  /// end-to-end) is faulted — SLVERR completions are synthesized and the
+  /// port is isolated. 0 disables the timeout (malformed-burst detection
+  /// stays active).
+  Cycle prot_timeout = 0;
 
   /// EXBAR arbitration policy (see above).
   ArbitrationPolicy arbitration = ArbitrationPolicy::kRoundRobin;
@@ -63,6 +69,34 @@ struct HyperConnectConfig {
 /// Bit position where the ID-extension mode inserts the port number.
 inline constexpr std::uint32_t kIdPortShift = 16;
 
+/// Why the protection unit faulted a port (FAULT_STATUS bits [3:1]).
+enum class FaultCause : std::uint8_t {
+  kNone = 0,
+  /// The HA stopped accepting read data (RREADY held low) and its full R
+  /// queue blocked the shared read path.
+  kReadStall = 1,
+  /// A granted sub-write starved for W data (hung W stream).
+  kWriteStall = 2,
+  /// The HA stopped accepting write responses (BREADY held low).
+  kRespStall = 3,
+  /// WLAST did not line up with the advertised burst length.
+  kMalformed = 4,
+  /// End-to-end sub-transaction age exceeded the timeout with no specific
+  /// handshake to blame (backstop).
+  kTimeout = 5,
+};
+
+/// Per-port fault latch maintained by the protection unit, exposed through
+/// the FAULT_STATUS / FAULT_COUNT / FAULT_CYCLE registers.
+struct PortFault {
+  bool faulted = false;
+  FaultCause cause = FaultCause::kNone;
+  /// Faults latched since reset (read-only; survives clearing the latch).
+  std::uint64_t count = 0;
+  /// Cycle of the most recent fault.
+  Cycle last_cycle = 0;
+};
+
 /// Run-time state, owned by the HyperConnect and mutated only through the
 /// register file (i.e. by the hypervisor over the control interface).
 struct HcRuntime {
@@ -72,6 +106,10 @@ struct HcRuntime {
   Cycle reservation_period = 0;
   std::vector<std::uint32_t> budgets;  // per port
   std::vector<bool> coupled;           // per port decoupling state
+  /// Protection-unit timeout in cycles (0 = timeouts off).
+  Cycle prot_timeout = 0;
+  /// Per-port protection-unit fault latches.
+  std::vector<PortFault> fault;
   /// Synthesis-time (not register-mapped): ID-extension / out-of-order mode.
   bool out_of_order = false;
 };

@@ -28,30 +28,42 @@ class Efifo {
   [[nodiscard]] bool coupled() const { return coupled_; }
   void set_coupled(bool on) { coupled_ = on; }
 
+  /// Fault latch set by the protection unit on a protocol timeout or a
+  /// malformed burst. A faulted port behaves like a decoupled one on the
+  /// request side (inputs grounded, responses dropped) but its R/B queues
+  /// are *not* continuously flushed, so the synthesized SLVERR completions
+  /// stay deliverable to the (misbehaving) HA. Cleared by a hypervisor
+  /// write to the port's FAULT_STATUS register.
+  [[nodiscard]] bool faulted() const { return faulted_; }
+  void set_faulted(bool on) { faulted_ = on; }
+
+  /// Port carries traffic: coupled and not latched as faulted.
+  [[nodiscard]] bool active() const { return coupled_ && !faulted_; }
+
   // --- slave side as seen by the interconnect logic --------------------
   [[nodiscard]] bool ar_available() const {
-    return coupled_ && link_->ar.can_pop();
+    return active() && link_->ar.can_pop();
   }
   [[nodiscard]] const AddrReq& peek_ar() const { return link_->ar.front(); }
   AddrReq pop_ar() { return link_->ar.pop(); }
 
   [[nodiscard]] bool aw_available() const {
-    return coupled_ && link_->aw.can_pop();
+    return active() && link_->aw.can_pop();
   }
   AddrReq pop_aw() { return link_->aw.pop(); }
 
   [[nodiscard]] bool w_available() const {
-    return coupled_ && link_->w.can_pop();
+    return active() && link_->w.can_pop();
   }
   WBeat pop_w() { return link_->w.pop(); }
 
   [[nodiscard]] bool can_push_r() const {
-    return coupled_ && link_->r.can_push();
+    return active() && link_->r.can_push();
   }
   void push_r(const RBeat& beat) { link_->r.push(beat); }
 
   [[nodiscard]] bool can_push_b() const {
-    return coupled_ && link_->b.can_push();
+    return active() && link_->b.can_push();
   }
   void push_b(const BResp& resp) { link_->b.push(resp); }
 
@@ -60,6 +72,7 @@ class Efifo {
  private:
   AxiLink* link_;
   bool coupled_ = true;
+  bool faulted_ = false;
 };
 
 }  // namespace axihc

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 
 namespace axihc {
 
@@ -16,6 +17,8 @@ HcRuntime make_runtime(const HyperConnectConfig& cfg) {
   rt.budgets = cfg.initial_budgets;
   rt.budgets.resize(cfg.num_ports, 0);
   rt.coupled.assign(cfg.num_ports, true);
+  rt.prot_timeout = cfg.prot_timeout;
+  rt.fault.assign(cfg.num_ports, PortFault{});
   rt.out_of_order = cfg.out_of_order;
   return rt;
 }
@@ -41,6 +44,7 @@ HyperConnect::HyperConnect(std::string name, HyperConnectConfig cfg)
   for (PortIndex i = 0; i < cfg_.num_ports; ++i) {
     efifos_.emplace_back(port_link(i));
     ts_.push_back(std::make_unique<TransactionSupervisor>(i, runtime_));
+    pu_.push_back(std::make_unique<ProtectionUnit>(i, runtime_));
     ts_ar_.push_back(std::make_unique<TimingChannel<AddrReq>>(
         Component::name() + ".ts_ar" + std::to_string(i),
         cfg_.ts_stage_depth));
@@ -64,11 +68,14 @@ void HyperConnect::register_with(Simulator& sim) {
 void HyperConnect::reset() {
   runtime_ = make_runtime(cfg_);
   for (auto& ts : ts_) ts->reset();
+  for (auto& pu : pu_) pu->reset();
   exbar_.reset();
   budget_left_ = runtime_.budgets;
   recharges_ = 0;
+  faults_latched_ = 0;
   for (PortIndex i = 0; i < num_ports(); ++i) {
     efifos_[i].set_coupled(true);
+    efifos_[i].set_faulted(false);
     mutable_counters(i) = PortCounters{};
   }
 }
@@ -81,6 +88,16 @@ std::uint32_t HyperConnect::budget_left(PortIndex i) const {
 const TransactionSupervisor& HyperConnect::supervisor(PortIndex i) const {
   AXIHC_CHECK(i < ts_.size());
   return *ts_[i];
+}
+
+const ProtectionUnit& HyperConnect::protection(PortIndex i) const {
+  AXIHC_CHECK(i < pu_.size());
+  return *pu_[i];
+}
+
+const PortFault& HyperConnect::port_fault(PortIndex i) const {
+  AXIHC_CHECK(i < runtime_.fault.size());
+  return runtime_.fault[i];
 }
 
 void HyperConnect::tick_control_interface() {
@@ -122,12 +139,122 @@ void HyperConnect::tick_central_unit(Cycle now) {
       ts_[i]->abort_pending_issue();
     }
     efifos_[i].set_coupled(want);
+
+    // Sync the eFIFO fault latch with the FAULT_STATUS register. A
+    // hypervisor write cleared the runtime latch -> re-arm the protection
+    // unit (stall counters reset, record ages restamped so in-fault time
+    // does not count against the timeout).
+    const bool faulted = runtime_.fault[i].faulted;
+    if (efifos_[i].faulted() && !faulted) {
+      pu_[i]->clear_stalls();
+      pu_[i]->restamp(now);
+    }
+    efifos_[i].set_faulted(faulted);
   }
   // Synchronous budget recharge for all TS modules every period T.
   if (runtime_.reservation_period != 0 &&
       now % runtime_.reservation_period == 0) {
     budget_left_ = runtime_.budgets;
     ++recharges_;
+  }
+}
+
+void HyperConnect::tick_protection(Cycle now) {
+  if (runtime_.fault.empty()) return;
+  // Culprit-first: a handshake stall or malformed burst identifies the
+  // misbehaving port precisely (stall counters only accumulate for the
+  // head-of-line blocker of a shared path). At most one fault per cycle.
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    if (runtime_.fault[i].faulted) continue;
+    const FaultCause cause = pu_[i]->evaluate_stalls();
+    if (cause != FaultCause::kNone) {
+      trigger_fault(i, cause, now);
+      return;
+    }
+  }
+  if (runtime_.prot_timeout == 0) return;
+  // Age backstop, suppressed while any port is a stall suspect: a port
+  // queued behind a wedge has old sub-transactions through no fault of its
+  // own and must not be blamed (the culprit faults first, and
+  // trigger_fault's restamp amnesty resets everyone else's ages).
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    if (!runtime_.fault[i].faulted && pu_[i]->suspected()) return;
+  }
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    if (runtime_.fault[i].faulted) continue;
+    const auto oldest = pu_[i]->oldest_issue();
+    if (oldest.has_value() && now - *oldest >= 2 * runtime_.prot_timeout) {
+      trigger_fault(i, FaultCause::kTimeout, now);
+      return;
+    }
+  }
+}
+
+void HyperConnect::trigger_fault(PortIndex i, FaultCause cause, Cycle now) {
+  PortFault& f = runtime_.fault[i];
+  f.faulted = true;
+  f.cause = cause;
+  ++f.count;
+  f.last_cycle = now;
+  ++faults_latched_;
+  efifos_[i].set_faulted(true);
+  AXIHC_LOG_WARN() << name() << " @" << now << ": port " << i
+                   << " faulted (cause " << static_cast<int>(cause)
+                   << ") — isolating and synthesizing SLVERR completions";
+
+  // Ground the request side with a one-time flush. R/B are flushed too but
+  // NOT continuously (unlike decoupling), so the completions synthesized
+  // below stay deliverable to the HA.
+  AxiLink& link = port_link(i);
+  link.ar.clear_contents();
+  link.aw.clear_contents();
+  link.w.clear_contents();
+  link.r.clear_contents();
+  link.b.clear_contents();
+
+  // Synthesize a terminal SLVERR completion for every HA transaction that
+  // still owes one: in-flight final sub-bursts, plus the transaction being
+  // split (its final sub-request never went downstream). The PU/TS records
+  // are kept — in-flight sub-bursts still complete downstream (read data is
+  // dropped at the faulted port, granted writes are zero-filled) and retire
+  // their records, so the merge bookkeeping stays consistent.
+  for (const auto& rec : pu_[i]->reads()) {
+    if (!rec.is_final) continue;
+    if (link.r.can_push()) {
+      link.r.push({rec.id, 0, true, Resp::kSlvErr});
+    } else {
+      pu_[i]->count_synth_drop();
+    }
+  }
+  if (const auto id = ts_[i]->active_read_id()) {
+    if (link.r.can_push()) {
+      link.r.push({*id, 0, true, Resp::kSlvErr});
+    } else {
+      pu_[i]->count_synth_drop();
+    }
+  }
+  for (const auto& rec : pu_[i]->writes()) {
+    if (!rec.is_final) continue;
+    if (link.b.can_push()) {
+      link.b.push({rec.id, Resp::kSlvErr});
+    } else {
+      pu_[i]->count_synth_drop();
+    }
+  }
+  if (const auto id = ts_[i]->active_write_id()) {
+    if (link.b.can_push()) {
+      link.b.push({*id, Resp::kSlvErr});
+    } else {
+      pu_[i]->count_synth_drop();
+    }
+  }
+  ts_[i]->abort_pending_issue();
+  pu_[i]->clear_stalls();
+
+  // Amnesty for the bystanders: time their sub-transactions spent wedged
+  // behind the culprit must not count against the age backstop.
+  for (PortIndex j = 0; j < num_ports(); ++j) {
+    if (j != i) pu_[j]->restamp(now);
   }
 }
 
@@ -147,7 +274,14 @@ void HyperConnect::tick_r_path() {
   }
   Efifo& fifo = efifos_[port];
 
-  if (fifo.coupled() && !fifo.can_push_r()) return;  // upstream backpressure
+  if (fifo.active() && !fifo.can_push_r()) {
+    // Upstream backpressure: this port is the head-of-line blocker of the
+    // shared read-return stream (its HA holds RREADY low with a full R
+    // queue) — exactly the stall the protection unit polices.
+    pu_[port]->observe_r_stall(true);
+    return;
+  }
+  pu_[port]->observe_r_stall(false);
 
   RBeat raw = master_link().r.pop();
   const bool subburst_end = raw.last;  // controller-level LAST
@@ -155,12 +289,13 @@ void HyperConnect::tick_r_path() {
     raw.id &= (TxnId{1} << kIdPortShift) - 1;  // restore the HA's ID
   }
   const RBeat merged = ts_[port]->process_r_beat(raw);
-  if (fifo.coupled()) {
+  if (fifo.active()) {
     fifo.push_r(merged);
     ++mutable_counters(port).r_beats;
   }
-  // A decoupled port's signals are grounded: the beat is dropped, but the
-  // routing/merge bookkeeping above stays consistent.
+  // A decoupled/faulted port's signals are grounded: the beat is dropped,
+  // but the routing/merge bookkeeping above stays consistent.
+  if (subburst_end) pu_[port]->on_read_sub_complete();
   if (!runtime_.out_of_order && subburst_end) exbar_.read_route().pop();
 }
 
@@ -179,14 +314,19 @@ void HyperConnect::tick_b_path() {
   }
   Efifo& fifo = efifos_[port];
 
-  if (fifo.coupled() && !fifo.can_push_b()) return;
+  if (fifo.active() && !fifo.can_push_b()) {
+    pu_[port]->observe_b_stall(true);
+    return;
+  }
+  pu_[port]->observe_b_stall(false);
 
   BResp resp = master_link().b.pop();
   if (runtime_.out_of_order) {
     resp.id &= (TxnId{1} << kIdPortShift) - 1;
   }
   const bool forward = ts_[port]->process_b(resp);
-  if (forward && fifo.coupled()) {
+  pu_[port]->on_write_sub_complete();
+  if (forward && fifo.active()) {
     fifo.push_b(resp);
     ++mutable_counters(port).b_resps;
   }
@@ -203,20 +343,26 @@ void HyperConnect::tick_w_path() {
   const bool sub_end = entry.beats == 1;
 
   WBeat beat;
-  if (fifo.coupled()) {
-    if (!fifo.w_available()) return;
+  if (fifo.active()) {
+    if (!fifo.w_available()) {
+      // A granted sub-write is starving for W data: this port wedges the
+      // shared write path head-of-line (hung W stream / truncated burst).
+      pu_[entry.port]->observe_w_stall(true);
+      return;
+    }
+    pu_[entry.port]->observe_w_stall(false);
     beat = fifo.pop_w();
     const bool orig_last = beat.last;
-    if (sub_end) {
-      AXIHC_CHECK_MSG(orig_last == entry.expects_orig_last,
-                      name() << ": HA WLAST misaligned with burst length");
-    } else {
-      AXIHC_CHECK_MSG(!orig_last,
-                      name() << ": HA raised WLAST mid-burst");
+    // WLAST legality at the re-chunk boundary. A mismatch (early, late or
+    // missing WLAST — e.g. a corrupted AWLEN) is a protocol fault handled
+    // gracefully by the protection unit; the stream stays legal downstream
+    // because WLAST is rewritten to the sub-burst boundary below.
+    if (orig_last != (sub_end && entry.expects_orig_last)) {
+      pu_[entry.port]->flag_malformed();
     }
     ++mutable_counters(entry.port).w_beats;
   } else {
-    // Decoupled port with an already-granted sub-AW: its W input is
+    // Decoupled/faulted port with an already-granted sub-AW: its W input is
     // grounded. Feed zero beats so the granted transaction completes and
     // the shared W path cannot be wedged by the isolated HA.
     beat = WBeat{0, 0xff, false};
@@ -232,15 +378,26 @@ void HyperConnect::tick(Cycle now) {
   tick_control_interface();
   tick_central_unit(now);
 
+  // Protection units: evaluate the stall/age observations accumulated by
+  // the data paths up to the previous cycle, before this cycle's traffic.
+  tick_protection(now);
+
   // Proactive data/response paths (no added latency).
   tick_r_path();
   tick_b_path();
   tick_w_path();
 
-  // TS modules: one sub-request per port per direction per cycle.
+  // TS modules: one sub-request per port per direction per cycle. Every
+  // issued sub-transaction is registered with the port's protection unit.
   for (PortIndex i = 0; i < num_ports(); ++i) {
-    ts_[i]->tick_read_issue(efifos_[i], *ts_ar_[i], budget_left_[i]);
-    ts_[i]->tick_write_issue(efifos_[i], *ts_aw_[i], budget_left_[i]);
+    if (const auto sub =
+            ts_[i]->tick_read_issue(efifos_[i], *ts_ar_[i], budget_left_[i])) {
+      pu_[i]->on_issue_read(sub->id, sub->is_final, now);
+    }
+    if (const auto sub = ts_[i]->tick_write_issue(efifos_[i], *ts_aw_[i],
+                                                  budget_left_[i])) {
+      pu_[i]->on_issue_write(sub->id, sub->is_final, now);
+    }
   }
 
   // EXBAR: fixed-granularity round-robin, one grant per address channel.

@@ -21,6 +21,7 @@
 #include "hyperconnect/config.hpp"
 #include "hyperconnect/efifo.hpp"
 #include "hyperconnect/exbar.hpp"
+#include "hyperconnect/protection_unit.hpp"
 #include "hyperconnect/register_file.hpp"
 #include "hyperconnect/transaction_supervisor.hpp"
 #include "interconnect/interconnect.hpp"
@@ -58,9 +59,23 @@ class HyperConnect final : public Interconnect {
 
   [[nodiscard]] const TransactionSupervisor& supervisor(PortIndex i) const;
 
+  /// Read-only view of a port's protection unit (fault diagnostics).
+  [[nodiscard]] const ProtectionUnit& protection(PortIndex i) const;
+
+  /// Port fault latch (production software reads the FAULT_* registers;
+  /// this is the test/bench observation point).
+  [[nodiscard]] const PortFault& port_fault(PortIndex i) const;
+
+  /// Faults latched by the protection units since reset (all ports).
+  [[nodiscard]] std::uint64_t faults_latched() const {
+    return faults_latched_;
+  }
+
  private:
   void tick_control_interface();
   void tick_central_unit(Cycle now);
+  void tick_protection(Cycle now);
+  void trigger_fault(PortIndex i, FaultCause cause, Cycle now);
   void tick_r_path();
   void tick_b_path();
   void tick_w_path();
@@ -70,6 +85,7 @@ class HyperConnect final : public Interconnect {
 
   std::vector<Efifo> efifos_;  // one per slave port, wrapping port links
   std::vector<std::unique_ptr<TransactionSupervisor>> ts_;
+  std::vector<std::unique_ptr<ProtectionUnit>> pu_;
   // Pipeline stages: TS output (one per port) and EXBAR output registers.
   std::vector<std::unique_ptr<TimingChannel<AddrReq>>> ts_ar_;
   std::vector<std::unique_ptr<TimingChannel<AddrReq>>> ts_aw_;
@@ -81,6 +97,7 @@ class HyperConnect final : public Interconnect {
 
   std::vector<std::uint32_t> budget_left_;
   std::uint64_t recharges_ = 0;
+  std::uint64_t faults_latched_ = 0;
 
   HcRegisterFile regfile_;
   AxiLink control_link_;

@@ -34,6 +34,10 @@ void HcRegisterFile::write(Addr offset, std::uint64_t value) {
         static_cast<std::uint32_t>(value == 0 ? 1 : value);
     return;
   }
+  if (offset == kProtTimeout) {
+    runtime_.prot_timeout = value;
+    return;
+  }
   if (offset >= kBudgetBase && offset < kBudgetBase + kRegStride * num_ports()) {
     const auto i = static_cast<PortIndex>((offset - kBudgetBase) / kRegStride);
     runtime_.budgets[i] = static_cast<std::uint32_t>(value);
@@ -44,6 +48,17 @@ void HcRegisterFile::write(Addr offset, std::uint64_t value) {
     const auto i =
         static_cast<PortIndex>((offset - kPortCtrlBase) / kRegStride);
     runtime_.coupled[i] = (value & 1) != 0;
+    return;
+  }
+  if (offset >= kFaultStatusBase &&
+      offset < kFaultStatusBase + kRegStride * runtime_.fault.size()) {
+    // Write-one-to-clear semantics (any write value clears): the hypervisor
+    // acknowledges the fault and re-arms the port's protection unit. The
+    // fault count and cycle stamp are preserved for postmortems.
+    const auto i =
+        static_cast<PortIndex>((offset - kFaultStatusBase) / kRegStride);
+    runtime_.fault[i].faulted = false;
+    runtime_.fault[i].cause = FaultCause::kNone;
     return;
   }
   ++ignored_writes_;
@@ -57,6 +72,7 @@ std::uint64_t HcRegisterFile::read(Addr offset) const {
   if (offset == kOutstandingLimit) return runtime_.max_outstanding;
   if (offset == kNumPorts) return num_ports();
   if (offset == kId) return kIdValue;
+  if (offset == kProtTimeout) return runtime_.prot_timeout;
   if (offset >= kBudgetBase &&
       offset < kBudgetBase + kRegStride * num_ports()) {
     const auto i = static_cast<PortIndex>((offset - kBudgetBase) / kRegStride);
@@ -73,6 +89,26 @@ std::uint64_t HcRegisterFile::read(Addr offset) const {
     const auto i =
         static_cast<PortIndex>((offset - kTxnCountBase) / kRegStride);
     return txn_count_fn_(i);
+  }
+  if (offset >= kFaultStatusBase &&
+      offset < kFaultStatusBase + kRegStride * runtime_.fault.size()) {
+    const auto i =
+        static_cast<PortIndex>((offset - kFaultStatusBase) / kRegStride);
+    const PortFault& f = runtime_.fault[i];
+    return (f.faulted ? kFaultStatusFaultedBit : 0) |
+           (static_cast<std::uint64_t>(f.cause) << kFaultStatusCauseShift);
+  }
+  if (offset >= kFaultCountBase &&
+      offset < kFaultCountBase + kRegStride * runtime_.fault.size()) {
+    const auto i =
+        static_cast<PortIndex>((offset - kFaultCountBase) / kRegStride);
+    return runtime_.fault[i].count;
+  }
+  if (offset >= kFaultCycleBase &&
+      offset < kFaultCycleBase + kRegStride * runtime_.fault.size()) {
+    const auto i =
+        static_cast<PortIndex>((offset - kFaultCycleBase) / kRegStride);
+    return runtime_.fault[i].last_cycle;
   }
   return 0;
 }

@@ -14,9 +14,15 @@
 //   0x018 OUTSTANDING_LIMIT   rw  per-port, per-direction sub-txn limit
 //   0x020 NUM_PORTS           ro
 //   0x028 ID                  ro  0xA81C0001
+//   0x030 PROT_TIMEOUT        rw  protection-unit timeout in cycles; 0 = off
 //   0x100 + 8*i BUDGET[i]     rw  transactions per period for port i
 //   0x200 + 8*i PORT_CTRL[i]  rw  bit0 = coupled (0 decouples the port)
 //   0x300 + 8*i TXN_COUNT[i]  ro  sub-transactions issued by port i
+//   0x400 + 8*i FAULT_STATUS[i] rw1c bit0 = faulted, bits[3:1] = cause
+//                                  (FaultCause); any write clears the latch
+//                                  and re-arms the port
+//   0x500 + 8*i FAULT_COUNT[i]  ro faults latched on port i since reset
+//   0x600 + 8*i FAULT_CYCLE[i]  ro cycle of port i's most recent fault
 #pragma once
 
 #include <cstdint>
@@ -33,12 +39,20 @@ inline constexpr Addr kReservationPeriod = 0x010;
 inline constexpr Addr kOutstandingLimit = 0x018;
 inline constexpr Addr kNumPorts = 0x020;
 inline constexpr Addr kId = 0x028;
+inline constexpr Addr kProtTimeout = 0x030;
 inline constexpr Addr kBudgetBase = 0x100;
 inline constexpr Addr kPortCtrlBase = 0x200;
 inline constexpr Addr kTxnCountBase = 0x300;
+inline constexpr Addr kFaultStatusBase = 0x400;
+inline constexpr Addr kFaultCountBase = 0x500;
+inline constexpr Addr kFaultCycleBase = 0x600;
 inline constexpr Addr kRegStride = 8;
 
 inline constexpr std::uint64_t kIdValue = 0xA81C0001;
+
+/// FAULT_STATUS layout: bit 0 = faulted, bits [3:1] = FaultCause.
+inline constexpr std::uint64_t kFaultStatusFaultedBit = 1;
+inline constexpr std::uint32_t kFaultStatusCauseShift = 1;
 
 [[nodiscard]] inline Addr budget(PortIndex i) {
   return kBudgetBase + kRegStride * i;
@@ -48,6 +62,15 @@ inline constexpr std::uint64_t kIdValue = 0xA81C0001;
 }
 [[nodiscard]] inline Addr txn_count(PortIndex i) {
   return kTxnCountBase + kRegStride * i;
+}
+[[nodiscard]] inline Addr fault_status(PortIndex i) {
+  return kFaultStatusBase + kRegStride * i;
+}
+[[nodiscard]] inline Addr fault_count(PortIndex i) {
+  return kFaultCountBase + kRegStride * i;
+}
+[[nodiscard]] inline Addr fault_cycle(PortIndex i) {
+  return kFaultCycleBase + kRegStride * i;
 }
 
 }  // namespace axihc::hcregs

@@ -18,6 +18,8 @@ void TransactionSupervisor::reset() {
   reads_outstanding_ = 0;
   writes_outstanding_ = 0;
   sub_issued_ = 0;
+  b_accum_ = Resp::kOkay;
+  r_sticky_ = Resp::kOkay;
 }
 
 BeatCount TransactionSupervisor::next_sub_beats(
@@ -41,11 +43,10 @@ bool TransactionSupervisor::may_issue(const TimingChannel<AddrReq>& out,
   return true;
 }
 
-void TransactionSupervisor::issue_sub(SplitProgress& sp,
-                                      TimingChannel<AddrReq>& out,
-                                      RingBuffer<std::uint8_t>& pending_finals,
-                                      std::uint32_t& outstanding,
-                                      std::uint32_t& budget_left) {
+TransactionSupervisor::IssuedSub TransactionSupervisor::issue_sub(
+    SplitProgress& sp, TimingChannel<AddrReq>& out,
+    RingBuffer<std::uint8_t>& pending_finals, std::uint32_t& outstanding,
+    std::uint32_t& budget_left) {
   const BeatCount sub_beats = next_sub_beats(sp);
   AXIHC_CHECK(sub_beats > 0 && sub_beats <= sp.remaining);
 
@@ -77,39 +78,49 @@ void TransactionSupervisor::issue_sub(SplitProgress& sp,
     sp.next_addr += std::uint64_t{sub_beats} << sp.orig.size_log2;
   }
   if (sp.remaining == 0) sp.active = false;
+  return {sp.orig.id, is_final};
 }
 
-void TransactionSupervisor::tick_read_issue(Efifo& in,
-                                            TimingChannel<AddrReq>& ts_ar,
-                                            std::uint32_t& budget_left) {
+std::optional<TransactionSupervisor::IssuedSub>
+TransactionSupervisor::tick_read_issue(Efifo& in,
+                                       TimingChannel<AddrReq>& ts_ar,
+                                       std::uint32_t& budget_left) {
   if (!read_split_.active && rt_.global_enable && in.ar_available()) {
     const AddrReq req = in.pop_ar();
     read_split_ = {true, req, req.beats, req.addr};
   }
   if (read_split_.active &&
       may_issue(ts_ar, reads_outstanding_, budget_left)) {
-    issue_sub(read_split_, ts_ar, pending_split_reads_, reads_outstanding_,
-              budget_left);
+    return issue_sub(read_split_, ts_ar, pending_split_reads_,
+                     reads_outstanding_, budget_left);
   }
+  return std::nullopt;
 }
 
-void TransactionSupervisor::tick_write_issue(Efifo& in,
-                                             TimingChannel<AddrReq>& ts_aw,
-                                             std::uint32_t& budget_left) {
+std::optional<TransactionSupervisor::IssuedSub>
+TransactionSupervisor::tick_write_issue(Efifo& in,
+                                        TimingChannel<AddrReq>& ts_aw,
+                                        std::uint32_t& budget_left) {
   if (!write_split_.active && rt_.global_enable && in.aw_available()) {
     const AddrReq req = in.pop_aw();
     write_split_ = {true, req, req.beats, req.addr};
   }
   if (write_split_.active &&
       may_issue(ts_aw, writes_outstanding_, budget_left)) {
-    issue_sub(write_split_, ts_aw, pending_split_writes_, writes_outstanding_,
-              budget_left);
+    return issue_sub(write_split_, ts_aw, pending_split_writes_,
+                     writes_outstanding_, budget_left);
   }
+  return std::nullopt;
 }
 
 RBeat TransactionSupervisor::process_r_beat(RBeat beat) {
   AXIHC_CHECK_MSG(!pending_split_reads_.empty(),
                   "TS port " << port_ << ": R beat with no sub-read pending");
+  // Sticky error merge: an error on any sub-burst beat poisons the rest of
+  // the HA transaction, so the HA sees the error even if it only checks the
+  // final beat.
+  r_sticky_ = worst_resp(r_sticky_, beat.resp);
+  beat.resp = r_sticky_;
   if (beat.last) {
     // End of one sub-burst at the memory side. Only the final sub-burst of
     // the HA's original transaction keeps RLAST.
@@ -118,18 +129,24 @@ RBeat TransactionSupervisor::process_r_beat(RBeat beat) {
     AXIHC_CHECK(reads_outstanding_ > 0);
     --reads_outstanding_;
     beat.last = is_final;
+    if (is_final) r_sticky_ = Resp::kOkay;
   }
   return beat;
 }
 
-bool TransactionSupervisor::process_b(const BResp&) {
+bool TransactionSupervisor::process_b(BResp& resp) {
   AXIHC_CHECK_MSG(!pending_split_writes_.empty(),
                   "TS port " << port_ << ": B with no sub-write pending");
   const bool is_final = pending_split_writes_.front() != 0;
   pending_split_writes_.pop();
   AXIHC_CHECK(writes_outstanding_ > 0);
   --writes_outstanding_;
-  return is_final;
+  b_accum_ = worst_resp(b_accum_, resp.resp);
+  if (!is_final) return false;
+  // The single B forwarded to the HA reports the worst sub-burst response.
+  resp.resp = b_accum_;
+  b_accum_ = Resp::kOkay;
+  return true;
 }
 
 }  // namespace axihc

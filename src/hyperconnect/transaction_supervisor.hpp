@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "axi/axi.hpp"
 #include "common/ring_buffer.hpp"
@@ -40,23 +41,39 @@ class TransactionSupervisor {
   /// HyperConnect, programmed via the control interface).
   TransactionSupervisor(PortIndex port, const HcRuntime& rt);
 
+  /// Description of one sub-transaction issued this cycle (consumed by the
+  /// protection unit's in-flight tracking). `id` is the HA-side ID, before
+  /// any ID extension.
+  struct IssuedSub {
+    TxnId id = 0;
+    bool is_final = false;
+  };
+
   /// Read-management issue step: moves at most one sub-AR from the port
   /// eFIFO into the TS output stage. `budget_left` is the port's remaining
   /// reservation budget (shared between read and write subsystems).
-  void tick_read_issue(Efifo& in, TimingChannel<AddrReq>& ts_ar,
-                       std::uint32_t& budget_left);
+  /// Returns the sub-transaction issued this cycle, if any.
+  std::optional<IssuedSub> tick_read_issue(Efifo& in,
+                                           TimingChannel<AddrReq>& ts_ar,
+                                           std::uint32_t& budget_left);
 
   /// Write-management issue step (sub-AW), symmetric to reads.
-  void tick_write_issue(Efifo& in, TimingChannel<AddrReq>& ts_aw,
-                        std::uint32_t& budget_left);
+  std::optional<IssuedSub> tick_write_issue(Efifo& in,
+                                            TimingChannel<AddrReq>& ts_aw,
+                                            std::uint32_t& budget_left);
 
   /// Read merge: fixes up RLAST across split sub-bursts and tracks
-  /// outstanding reads. Call for every R beat routed to this port.
+  /// outstanding reads. Call for every R beat routed to this port. Error
+  /// responses are sticky across the sub-bursts of one HA transaction: once
+  /// any merged beat carried SLVERR/DECERR, every later beat of the same HA
+  /// burst reports (at least) that response.
   [[nodiscard]] RBeat process_r_beat(RBeat beat);
 
   /// Write-response merge: returns true if this B response corresponds to
-  /// the final sub-burst of an HA transaction and must be forwarded.
-  [[nodiscard]] bool process_b(const BResp& resp);
+  /// the final sub-burst of an HA transaction and must be forwarded. The
+  /// forwarded response is rewritten to the worst of all sub-burst
+  /// responses of the merged transaction.
+  [[nodiscard]] bool process_b(BResp& resp);
 
   [[nodiscard]] std::uint32_t reads_outstanding() const {
     return reads_outstanding_;
@@ -81,6 +98,18 @@ class TransactionSupervisor {
     write_split_ = SplitProgress{};
   }
 
+  /// HA-side ID of the read transaction currently being split, if any (the
+  /// protection unit synthesizes its terminal completion on a fault, since
+  /// the final sub-request was never issued downstream).
+  [[nodiscard]] std::optional<TxnId> active_read_id() const {
+    if (read_split_.active) return read_split_.orig.id;
+    return std::nullopt;
+  }
+  [[nodiscard]] std::optional<TxnId> active_write_id() const {
+    if (write_split_.active) return write_split_.orig.id;
+    return std::nullopt;
+  }
+
  private:
   /// Progress of splitting one HA transaction into sub-requests.
   struct SplitProgress {
@@ -91,9 +120,9 @@ class TransactionSupervisor {
   };
 
   [[nodiscard]] BeatCount next_sub_beats(const SplitProgress& sp) const;
-  void issue_sub(SplitProgress& sp, TimingChannel<AddrReq>& out,
-                 RingBuffer<std::uint8_t>& pending_finals,
-                 std::uint32_t& outstanding, std::uint32_t& budget_left);
+  IssuedSub issue_sub(SplitProgress& sp, TimingChannel<AddrReq>& out,
+                      RingBuffer<std::uint8_t>& pending_finals,
+                      std::uint32_t& outstanding, std::uint32_t& budget_left);
   [[nodiscard]] bool may_issue(const TimingChannel<AddrReq>& out,
                                std::uint32_t outstanding,
                                std::uint32_t budget_left) const;
@@ -109,6 +138,12 @@ class TransactionSupervisor {
   std::uint32_t reads_outstanding_ = 0;
   std::uint32_t writes_outstanding_ = 0;
   std::uint64_t sub_issued_ = 0;
+  /// Worst-of accumulator over the sub-burst B responses of the write
+  /// transaction currently being merged.
+  Resp b_accum_ = Resp::kOkay;
+  /// Sticky error response across the merged sub-bursts of the current read
+  /// transaction.
+  Resp r_sticky_ = Resp::kOkay;
 };
 
 }  // namespace axihc

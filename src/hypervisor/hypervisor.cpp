@@ -12,15 +12,18 @@ Hypervisor::Hypervisor(std::string name, HyperConnectDriver& driver)
       driver_(driver),
       isolated_(driver.num_ports(), false),
       last_txn_count_(driver.num_ports(), 0),
-      poll_results_(driver.num_ports()) {}
+      poll_results_(driver.num_ports()),
+      fault_results_(driver.num_ports()) {}
 
 void Hypervisor::reset() {
   isolated_.assign(driver_.num_ports(), false);
   last_txn_count_.assign(driver_.num_ports(), 0);
   poll_results_.assign(driver_.num_ports(), std::nullopt);
+  fault_results_.assign(driver_.num_ports(), std::nullopt);
   next_poll_ = 0;
   poll_in_flight_ = false;
   events_.clear();
+  fault_events_.clear();
 }
 
 std::size_t Hypervisor::add_domain(Domain domain) {
@@ -105,6 +108,29 @@ void Hypervisor::poll_counters(Cycle now) {
         isolated_[p] = true;
       }
     }
+
+    // Hardware-fault handling: the protection unit latched a fault (timeout
+    // / stall / malformed burst) and quarantined the port internally. Make
+    // the isolation official (PORT_CTRL) and acknowledge the fault so the
+    // unit re-arms for a later recovery attempt.
+    AXIHC_CHECK(fault_results_[p].has_value());
+    const std::uint64_t status = *fault_results_[p];
+    fault_results_[p] = std::nullopt;
+    if ((status & hcregs::kFaultStatusFaultedBit) != 0) {
+      const auto cause = static_cast<FaultCause>(
+          (status >> hcregs::kFaultStatusCauseShift) & 0x7);
+      fault_events_.push_back({now, p, cause});
+      AXIHC_LOG_INFO() << name() << ": port " << p
+                       << " fault latched (cause "
+                       << static_cast<unsigned>(cause) << ") — "
+                       << (watchdog_.isolate_on_fault ? "isolating"
+                                                      : "flagging");
+      if (watchdog_.isolate_on_fault) {
+        driver_.set_coupled(p, false);
+        isolated_[p] = true;
+        driver_.clear_fault(p);
+      }
+    }
   }
 }
 
@@ -113,8 +139,8 @@ void Hypervisor::tick(Cycle now) {
 
   if (poll_in_flight_) {
     bool all_back = true;
-    for (const auto& r : poll_results_) {
-      if (!r.has_value()) {
+    for (PortIndex p = 0; p < driver_.num_ports(); ++p) {
+      if (!poll_results_[p].has_value() || !fault_results_[p].has_value()) {
         all_back = false;
         break;
       }
@@ -131,8 +157,11 @@ void Hypervisor::tick(Cycle now) {
     poll_in_flight_ = true;
     for (PortIndex p = 0; p < driver_.num_ports(); ++p) {
       poll_results_[p] = std::nullopt;
+      fault_results_[p] = std::nullopt;
       driver_.read_txn_count(
           p, [this, p](std::uint64_t v) { poll_results_[p] = v; });
+      driver_.read_fault_status(
+          p, [this, p](std::uint64_t v) { fault_results_[p] = v; });
     }
   }
 }

@@ -33,6 +33,10 @@ struct WatchdogPolicy {
   std::vector<std::uint64_t> max_txns_per_poll;
   /// Decouple offending ports automatically.
   bool auto_isolate = true;
+  /// Also read each port's FAULT_STATUS register at every poll; on a latched
+  /// fault, formally decouple the port (the hardware protection unit has
+  /// already quarantined it) and acknowledge the fault so the unit re-arms.
+  bool isolate_on_fault = true;
 };
 
 /// Record of a watchdog intervention.
@@ -41,6 +45,13 @@ struct IsolationEvent {
   PortIndex port = 0;
   std::uint64_t observed_txns = 0;
   std::uint64_t allowed_txns = 0;
+};
+
+/// Record of a hardware fault observed through the FAULT_STATUS registers.
+struct FaultEvent {
+  Cycle cycle = 0;  // when the hypervisor observed it (poll granularity)
+  PortIndex port = 0;
+  FaultCause cause = FaultCause::kNone;
 };
 
 class Hypervisor final : public Component {
@@ -72,6 +83,9 @@ class Hypervisor final : public Component {
   [[nodiscard]] const std::vector<IsolationEvent>& isolation_events() const {
     return events_;
   }
+  [[nodiscard]] const std::vector<FaultEvent>& fault_events() const {
+    return fault_events_;
+  }
 
   void tick(Cycle now) override;
   void reset() override;
@@ -85,9 +99,11 @@ class Hypervisor final : public Component {
   std::vector<bool> isolated_;
   std::vector<std::uint64_t> last_txn_count_;
   std::vector<std::optional<std::uint64_t>> poll_results_;
+  std::vector<std::optional<std::uint64_t>> fault_results_;
   Cycle next_poll_ = 0;
   bool poll_in_flight_ = false;
   std::vector<IsolationEvent> events_;
+  std::vector<FaultEvent> fault_events_;
 };
 
 }  // namespace axihc

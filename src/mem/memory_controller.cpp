@@ -20,6 +20,7 @@ MemoryController::MemoryController(std::string name, AxiLink& link,
 void MemoryController::reset() {
   queue_.clear();
   phase_ = Phase::kIdle;
+  current_resp_ = Resp::kOkay;
   wait_left_ = 0;
   beats_left_ = 0;
   next_beat_addr_ = 0;
@@ -30,6 +31,27 @@ void MemoryController::reset() {
   busy_cycles_ = 0;
   row_hits_ = row_misses_ = 0;
   refreshes_ = 0;
+  decode_errors_ = slv_errors_ = 0;
+}
+
+Resp MemoryController::resolve_resp(const AddrReq& req) const {
+  const std::uint64_t span = burst_end(req) - req.addr;
+  if (!cfg_.mapped_ranges.empty()) {
+    bool mapped = false;
+    for (const AddrRange& r : cfg_.mapped_ranges) {
+      if (r.contains_span(req.addr, span)) {
+        mapped = true;
+        break;
+      }
+    }
+    // DECERR: no slave decodes (all of) this burst. Bursts never cross a
+    // 4 KiB boundary, so partial decode only happens at a range edge.
+    if (!mapped) return Resp::kDecErr;
+  }
+  for (const AddrRange& r : cfg_.slverr_ranges) {
+    if (r.overlaps(req.addr, span)) return Resp::kSlvErr;
+  }
+  return Resp::kOkay;
 }
 
 Cycle MemoryController::access_latency(Addr addr) {
@@ -113,6 +135,9 @@ void MemoryController::start_next_command() {
   }
   current_ = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  current_resp_ = resolve_resp(current_.req);
+  if (current_resp_ == Resp::kDecErr) ++decode_errors_;
+  if (current_resp_ == Resp::kSlvErr) ++slv_errors_;
   wait_left_ = access_latency(current_.req.addr);
   beats_left_ = current_.req.beats;
   next_beat_addr_ = current_.req.addr;
@@ -157,29 +182,39 @@ void MemoryController::tick(Cycle now) {
 
     case Phase::kStreamRead:
     case Phase::kStreamWrite: {
+      // Error transactions (DECERR decode miss / SLVERR window) keep their
+      // timing but never touch the backing store; every R beat and the B
+      // response carry the resolved error code.
       if (phase_ == Phase::kStreamRead) {
         if (!link_.r.can_push()) break;  // backpressure from the fabric
         RBeat beat;
         beat.id = current_.req.id;
-        beat.data = store_.read_word(next_beat_addr_);
+        beat.data =
+            current_resp_ == Resp::kOkay ? store_.read_word(next_beat_addr_)
+                                         : 0;
         beat.last = beats_left_ == 1;
+        beat.resp = current_resp_;
         link_.r.push(beat);
       } else if (cfg_.scheduling == MemScheduling::kFrFcfs) {
         // Data was pre-buffered; stream one beat per cycle from the buffer.
         const bool final_beat = beats_left_ == 1;
         if (final_beat && !link_.b.can_push()) break;
         const WBeat& beat = current_.data[stream_index_++];
-        store_.write_word(next_beat_addr_, beat.data, beat.strb);
-        if (final_beat) link_.b.push({current_.req.id, Resp::kOkay});
+        if (current_resp_ == Resp::kOkay) {
+          store_.write_word(next_beat_addr_, beat.data, beat.strb);
+        }
+        if (final_beat) link_.b.push({current_.req.id, current_resp_});
       } else {
         if (!link_.w.can_pop()) break;  // W data not here yet
         const bool final_beat = beats_left_ == 1;
         if (final_beat && !link_.b.can_push()) break;  // hold last beat for B
         const WBeat beat = link_.w.pop();
-        store_.write_word(next_beat_addr_, beat.data, beat.strb);
+        if (current_resp_ == Resp::kOkay) {
+          store_.write_word(next_beat_addr_, beat.data, beat.strb);
+        }
         if (final_beat) {
           AXIHC_CHECK_MSG(beat.last, "W burst longer than AW advertised");
-          link_.b.push({current_.req.id, Resp::kOkay});
+          link_.b.push({current_.req.id, current_resp_});
         }
       }
       ++beats_served_;

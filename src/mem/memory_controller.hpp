@@ -63,6 +63,13 @@ struct MemoryControllerConfig {
   /// numbers on a 150 MHz fabric: tREFI ~ 1170 cycles, tRFC ~ 53 cycles.
   Cycle refresh_period = 0;
   Cycle refresh_duration = 0;
+  /// Address decode map. Empty = the whole address space is mapped
+  /// (back-compatible default). Otherwise a burst not entirely inside one
+  /// of these ranges gets DECERR (timing as usual, store untouched).
+  std::vector<AddrRange> mapped_ranges;
+  /// Error-synthesizing windows (fault injection / broken-slave model): a
+  /// burst overlapping any of these ranges gets SLVERR.
+  std::vector<AddrRange> slverr_ranges;
 };
 
 class MemoryController final : public Component {
@@ -90,6 +97,11 @@ class MemoryController final : public Component {
   /// Refresh windows entered so far.
   [[nodiscard]] std::uint64_t refreshes() const { return refreshes_; }
 
+  /// Transactions answered with DECERR (address-decode miss).
+  [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
+  /// Transactions answered with SLVERR (error-synthesizing window).
+  [[nodiscard]] std::uint64_t slv_errors() const { return slv_errors_; }
+
  private:
   struct Command {
     bool is_write = false;
@@ -112,6 +124,8 @@ class MemoryController final : public Component {
   [[nodiscard]] bool eligible(std::size_t index) const;
   [[nodiscard]] std::size_t pick_next() const;
   void start_next_command();
+  /// Address-decode + error-window resolution for a whole burst.
+  [[nodiscard]] Resp resolve_resp(const AddrReq& req) const;
 
   AxiLink& link_;
   BackingStore& store_;
@@ -120,6 +134,7 @@ class MemoryController final : public Component {
   std::deque<Command> queue_;
   Phase phase_ = Phase::kIdle;
   Command current_{};
+  Resp current_resp_ = Resp::kOkay;
   Cycle wait_left_ = 0;
   BeatCount beats_left_ = 0;
   Addr next_beat_addr_ = 0;
@@ -136,6 +151,8 @@ class MemoryController final : public Component {
   std::uint64_t busy_cycles_ = 0;
   std::uint64_t row_hits_ = 0;
   std::uint64_t row_misses_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::uint64_t slv_errors_ = 0;
 };
 
 }  // namespace axihc

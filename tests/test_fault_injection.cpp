@@ -1,0 +1,471 @@
+// Fault-injection and protection-unit tests: the HyperConnect must detect a
+// misbehaving port (hung handshake, malformed burst), synthesize terminal
+// SLVERR completions so both sides drain, quarantine the port, and keep the
+// healthy ports' reserved bandwidth intact. Faults are latched in the
+// FAULT_* registers for the hypervisor's watchdog.
+#include <gtest/gtest.h>
+
+#include "config/system_builder.hpp"
+#include "driver/hyperconnect_driver.hpp"
+#include "fault/fault_injector.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace axihc {
+namespace {
+
+struct ProtectionFixture : ::testing::Test {
+  explicit ProtectionFixture(Cycle prot_timeout = 50)
+      : hc("hc", config(prot_timeout)), mem("ddr", hc.master_link(), store, {}) {
+    hc.register_with(sim);
+    sim.add(mem);
+    sim.reset();
+  }
+
+  static HyperConnectConfig config(Cycle prot_timeout) {
+    HyperConnectConfig cfg;
+    cfg.num_ports = 2;
+    cfg.nominal_burst = 16;
+    cfg.max_outstanding = 4;
+    cfg.prot_timeout = prot_timeout;
+    // Shallow port R queue so a permanent RREADY stall wedges the shared
+    // read path quickly (head-of-line stall, not just buffered slack).
+    cfg.port_link_cfg.r_depth = 4;
+    return cfg;
+  }
+
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc;
+  MemoryController mem;
+};
+
+TEST_F(ProtectionFixture, HungWriteStreamSynthesizesSlvErrB) {
+  // 16-beat write whose W stream dies after 8 beats: the granted sub-write
+  // wedges the shared W path until the protection unit times out.
+  AddrReq aw;
+  aw.id = 11;
+  aw.addr = 0x2000;
+  aw.beats = 16;
+  hc.port_link(0).aw.push(aw);
+  for (BeatCount i = 0; i < 8; ++i) {
+    while (!hc.port_link(0).w.can_push()) sim.step();
+    hc.port_link(0).w.push({i, 0xff, false});
+  }
+
+  BResp resp;
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        if (!hc.port_link(0).b.can_pop()) return false;
+        resp = hc.port_link(0).b.pop();
+        return true;
+      },
+      5000));
+  EXPECT_EQ(resp.id, 11u);
+  EXPECT_EQ(resp.resp, Resp::kSlvErr);
+
+  EXPECT_EQ(hc.faults_latched(), 1u);
+  EXPECT_TRUE(hc.port_fault(0).faulted);
+  EXPECT_EQ(hc.port_fault(0).cause, FaultCause::kWriteStall);
+  EXPECT_EQ(hc.port_fault(0).count, 1u);
+  EXPECT_FALSE(hc.port_fault(1).faulted);
+
+  // The granted sub-write is zero-filled so the memory side drains too.
+  ASSERT_TRUE(sim.run_until([&] { return mem.writes_served() == 1; }, 5000));
+}
+
+TEST_F(ProtectionFixture, PermanentRreadyStallSynthesizesTerminalRBeats) {
+  // Four reads issued, R never drained (RREADY held low forever): once the
+  // port's R queue is full the shared read path wedges head-of-line.
+  for (TxnId id = 1; id <= 4; ++id) {
+    AddrReq ar;
+    ar.id = id;
+    ar.addr = 0x1000 * id;
+    ar.beats = 16;
+    hc.port_link(0).ar.push(ar);
+    sim.step();
+  }
+  ASSERT_TRUE(sim.run_until([&] { return hc.faults_latched() == 1; }, 5000));
+  EXPECT_EQ(hc.port_fault(0).cause, FaultCause::kReadStall);
+
+  // Every read still owed a completion got a terminal SLVERR RLAST beat
+  // (buffered data of the already-completed reads was flushed — the HA
+  // behind this port is the faulty party and is being isolated).
+  std::vector<RBeat> beats;
+  sim.run(100);
+  while (hc.port_link(0).r.can_pop()) beats.push_back(hc.port_link(0).r.pop());
+  ASSERT_FALSE(beats.empty());
+  for (const RBeat& b : beats) {
+    EXPECT_TRUE(b.last);
+    EXPECT_EQ(b.resp, Resp::kSlvErr);
+  }
+}
+
+TEST_F(ProtectionFixture, FaultedPortDoesNotBlockHealthyPort) {
+  // Port 0 wedges (hung W); port 1 keeps issuing reads throughout and must
+  // see them all complete cleanly.
+  AddrReq aw;
+  aw.id = 3;
+  aw.addr = 0x2000;
+  aw.beats = 16;
+  hc.port_link(0).aw.push(aw);  // no W data at all
+
+  std::uint64_t completed = 0;
+  TxnId next_id = 1;
+  std::uint32_t in_flight = 0;
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        if (in_flight < 2 && hc.port_link(1).ar.can_push()) {
+          AddrReq ar;
+          ar.id = next_id++;
+          ar.addr = 0x8000;
+          ar.beats = 16;
+          hc.port_link(1).ar.push(ar);
+          ++in_flight;
+        }
+        while (hc.port_link(1).r.can_pop()) {
+          const RBeat b = hc.port_link(1).r.pop();
+          EXPECT_EQ(b.resp, Resp::kOkay);
+          if (b.last) {
+            ++completed;
+            --in_flight;
+          }
+        }
+        return completed >= 20;
+      },
+      20000));
+  EXPECT_TRUE(hc.port_fault(0).faulted);
+  EXPECT_FALSE(hc.port_fault(1).faulted);
+}
+
+struct MalformedFixture : ProtectionFixture {
+  MalformedFixture() : ProtectionFixture(0) {}  // timeout disabled
+};
+
+TEST_F(MalformedFixture, EarlyWlastFaultsEvenWithTimeoutDisabled) {
+  AddrReq aw;
+  aw.id = 21;
+  aw.addr = 0x3000;
+  aw.beats = 16;
+  hc.port_link(0).aw.push(aw);
+  for (BeatCount i = 0; i < 9; ++i) {
+    while (!hc.port_link(0).w.can_push()) sim.step();
+    hc.port_link(0).w.push({i, 0xff, i == 8});  // WLAST 7 beats early
+  }
+
+  BResp resp;
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        if (!hc.port_link(0).b.can_pop()) return false;
+        resp = hc.port_link(0).b.pop();
+        return true;
+      },
+      5000));
+  EXPECT_EQ(resp.resp, Resp::kSlvErr);
+  EXPECT_EQ(hc.port_fault(0).cause, FaultCause::kMalformed);
+  // Downstream stream was completed legally regardless.
+  ASSERT_TRUE(sim.run_until([&] { return mem.writes_served() == 1; }, 5000));
+}
+
+TEST_F(ProtectionFixture, FaultRegistersLatchAndClearViaBackdoor) {
+  AddrReq aw;
+  aw.id = 11;
+  aw.addr = 0x2000;
+  aw.beats = 16;
+  hc.port_link(0).aw.push(aw);  // hung W: no data
+  ASSERT_TRUE(sim.run_until([&] { return hc.faults_latched() == 1; }, 5000));
+  const Cycle fault_cycle = sim.now();
+
+  HcRegisterFile& regs = hc.registers_backdoor();
+  const std::uint64_t status = regs.read(hcregs::fault_status(0));
+  EXPECT_EQ(status & hcregs::kFaultStatusFaultedBit, 1u);
+  EXPECT_EQ(status >> hcregs::kFaultStatusCauseShift,
+            static_cast<std::uint64_t>(FaultCause::kWriteStall));
+  EXPECT_EQ(regs.read(hcregs::fault_count(0)), 1u);
+  EXPECT_GE(fault_cycle, regs.read(hcregs::fault_cycle(0)));
+
+  // Drain the synthesized B and let the zero-filled write retire.
+  ASSERT_TRUE(sim.run_until([&] { return mem.writes_served() == 1; }, 5000));
+  while (hc.port_link(0).b.can_pop()) hc.port_link(0).b.pop();
+
+  // Any write to FAULT_STATUS acknowledges the fault; count is preserved.
+  regs.write(hcregs::fault_status(0), 0);
+  sim.run(5);
+  EXPECT_FALSE(hc.port_fault(0).faulted);
+  EXPECT_EQ(regs.read(hcregs::fault_count(0)), 1u);
+
+  // The re-armed port serves traffic again.
+  AddrReq ar;
+  ar.id = 12;
+  ar.addr = 0x4000;
+  ar.beats = 16;
+  hc.port_link(0).ar.push(ar);
+  std::size_t got = 0;
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        while (hc.port_link(0).r.can_pop()) {
+          EXPECT_EQ(hc.port_link(0).r.pop().resp, Resp::kOkay);
+          ++got;
+        }
+        return got >= 16;
+      },
+      5000));
+  EXPECT_EQ(hc.faults_latched(), 1u) << "spurious re-fault after re-arm";
+}
+
+TEST(ProtectionDriver, TimeoutConfiguredAndFaultReadOverControlBus) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  cfg.nominal_burst = 16;
+  HyperConnect hc("hc", cfg);  // prot_timeout 0: armed over the bus below
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  RegisterMaster rm("rm", hc.control_link());
+  HyperConnectDriver driver(rm, 2);
+  hc.register_with(sim);
+  sim.add(mem);
+  sim.add(rm);
+  sim.reset();
+
+  driver.set_prot_timeout(50);
+  ASSERT_TRUE(sim.run_until([&] { return driver.idle(); }, 10000));
+
+  AddrReq aw;
+  aw.id = 1;
+  aw.addr = 0x2000;
+  aw.beats = 16;
+  hc.port_link(0).aw.push(aw);  // hung W stream
+  ASSERT_TRUE(sim.run_until([&] { return hc.faults_latched() == 1; }, 5000));
+
+  std::uint64_t status = 0;
+  driver.read_fault_status(0, [&](std::uint64_t v) { status = v; });
+  std::uint64_t count = 0;
+  driver.read_fault_count(0, [&](std::uint64_t v) { count = v; });
+  ASSERT_TRUE(sim.run_until([&] { return driver.idle(); }, 10000));
+  EXPECT_EQ(status & hcregs::kFaultStatusFaultedBit, 1u);
+  EXPECT_EQ(status >> hcregs::kFaultStatusCauseShift,
+            static_cast<std::uint64_t>(FaultCause::kWriteStall));
+  EXPECT_EQ(count, 1u);
+
+  driver.clear_fault(0);
+  ASSERT_TRUE(sim.run_until([&] { return driver.idle(); }, 10000));
+  sim.run(5);
+  EXPECT_FALSE(hc.port_fault(0).faulted);
+}
+
+TEST(FaultInjectorUnit, StallWHoldsDataAfterStart) {
+  Simulator sim;
+  AxiLink ha("ha"), bus("bus");
+  ha.register_with(sim);
+  bus.register_with(sim);
+  FaultScenario scenario;
+  scenario.faults = {{FaultKind::kStallW, 0, 0, 0, 0, 1.0}};
+  FaultInjector inj("inj", ha, bus, scenario, 0);
+  sim.add(inj);
+  sim.reset();
+
+  AddrReq aw;
+  aw.beats = 4;
+  ha.aw.push(aw);
+  for (BeatCount i = 0; i < 4; ++i) ha.w.push({i, 0xff, i == 3});
+  sim.run(100);
+  EXPECT_TRUE(bus.aw.can_pop());  // AW channel unaffected
+  std::size_t w_forwarded = 0;
+  while (bus.w.can_pop()) {
+    bus.w.pop();
+    ++w_forwarded;
+  }
+  EXPECT_EQ(w_forwarded, 0u) << "stall_w did not hold the W stream";
+  EXPECT_GT(inj.stats().w_stalled, 0u);
+}
+
+TEST(FaultInjectorUnit, TruncateWriteForcesEarlyWlast) {
+  Simulator sim;
+  AxiLink ha("ha"), bus("bus");
+  ha.register_with(sim);
+  bus.register_with(sim);
+  FaultScenario scenario;
+  scenario.faults = {{FaultKind::kTruncateWrite, 0, 0, 0, 1, 1.0}};
+  FaultInjector inj("inj", ha, bus, scenario, 0);
+  sim.add(inj);
+  sim.reset();
+
+  AddrReq aw;
+  aw.beats = 4;
+  ha.aw.push(aw);
+  for (BeatCount i = 0; i < 4; ++i) ha.w.push({i, 0xff, i == 3});
+  sim.run(100);
+
+  ASSERT_TRUE(bus.aw.can_pop());
+  EXPECT_EQ(bus.aw.pop().beats, 4u);  // AW still advertises the full length
+  std::vector<WBeat> beats;
+  while (bus.w.can_pop()) beats.push_back(bus.w.pop());
+  ASSERT_EQ(beats.size(), 3u);  // one beat cut
+  EXPECT_TRUE(beats.back().last);
+  EXPECT_FALSE(beats[0].last);
+  EXPECT_EQ(inj.stats().bursts_truncated, 1u);
+}
+
+TEST(FaultInjectorUnit, SeededScenarioIsReproducible) {
+  // Two injectors built from the same seeded scenario must make identical
+  // probabilistic choices.
+  for (int run = 0; run < 2; ++run) {
+    SCOPED_TRACE(run);
+    Simulator sim;
+    AxiLink ha("ha"), bus("bus");
+    ha.register_with(sim);
+    bus.register_with(sim);
+    FaultScenario scenario;
+    scenario.seed = 1234;
+    scenario.faults = {{FaultKind::kDropW, 0, 0, 0, 0, 0.5}};
+    FaultInjector inj("inj", ha, bus, scenario, 0);
+    sim.add(inj);
+    sim.reset();
+
+    static std::uint64_t first_run_dropped = 0;
+    for (int burst = 0; burst < 8; ++burst) {
+      AddrReq aw;
+      aw.beats = 4;
+      while (!ha.aw.can_push()) sim.step();
+      ha.aw.push(aw);
+      for (BeatCount i = 0; i < 4; ++i) {
+        while (!ha.w.can_push()) sim.step();
+        ha.w.push({i, 0xff, i == 3});
+      }
+      sim.run(10);
+      while (bus.aw.can_pop()) bus.aw.pop();
+      while (bus.w.can_pop()) bus.w.pop();
+    }
+    if (run == 0) {
+      first_run_dropped = inj.stats().w_dropped;
+      EXPECT_GT(first_run_dropped, 0u);
+      EXPECT_LT(first_run_dropped, 32u);
+    } else {
+      EXPECT_EQ(inj.stats().w_dropped, first_run_dropped);
+    }
+  }
+}
+
+TEST(FaultInjectionIni, MemSlvErrWindowConfiguredFromIni) {
+  const auto cs = build_system(R"(
+[system]
+ports = 2
+cycles = 1000
+mem_bytes = 1073741824
+
+[ha0]
+type = traffic
+direction = write
+burst = 16
+base = 0x40000000
+
+[fault0]
+kind = mem_slverr
+base = 0x40000000
+bytes = 1048576
+)");
+  EXPECT_EQ(cs->injector_count(), 0u);  // mem_slverr is not an injector fault
+  cs->run(20000);
+  const MasterStats& s = cs->ha(0).stats();
+  EXPECT_GT(s.writes_completed, 0u);
+  EXPECT_EQ(s.writes_failed, s.writes_completed);
+}
+
+// The ISSUE acceptance scenario: a seeded stress with a permanently hung W
+// stream on port 0 and a permanent RREADY stall on port 1, both starting
+// mid-run. The protection units must time out, synthesize SLVERR, decouple
+// the faulty ports, and the healthy ports' bandwidth must recover to their
+// reservation. The whole system must keep simulating (no deadlock).
+TEST(FaultInjectionIni, SeededStressRecoversReservedBandwidth) {
+  const auto cs = build_system(R"(
+[system]
+ports = 4
+cycles = 40000
+fault_seed = 7
+
+[hyperconnect]
+nominal_burst = 16
+max_outstanding = 4
+reservation_period = 1000
+budgets = 10 10 10 10
+prot_timeout = 400
+
+[ha0]
+type = traffic
+direction = write
+burst = 16
+
+[ha1]
+type = traffic
+direction = read
+burst = 16
+
+[ha2]
+type = traffic
+direction = read
+burst = 16
+
+[ha3]
+type = traffic
+direction = write
+burst = 16
+
+[fault0]
+kind = stall_w
+port = 0
+start = 2000
+
+[fault1]
+kind = stall_r
+port = 1
+start = 2000
+)");
+  ASSERT_EQ(cs->injector_count(), 2u);
+  HyperConnect* hc = cs->soc().hyperconnect();
+  ASSERT_NE(hc, nullptr);
+
+  // Warm-up + fault + recovery phase.
+  cs->run(20000);
+  EXPECT_EQ(hc->faults_latched(), 2u);
+  EXPECT_TRUE(hc->port_fault(0).faulted);
+  EXPECT_EQ(hc->port_fault(0).cause, FaultCause::kWriteStall);
+  EXPECT_TRUE(hc->port_fault(1).faulted);
+  EXPECT_EQ(hc->port_fault(1).cause, FaultCause::kReadStall);
+  EXPECT_FALSE(hc->port_fault(2).faulted);
+  EXPECT_FALSE(hc->port_fault(3).faulted);
+
+  // Fault visibility through the register map.
+  HcRegisterFile& regs = hc->registers_backdoor();
+  for (PortIndex p : {PortIndex{0}, PortIndex{1}}) {
+    EXPECT_EQ(regs.read(hcregs::fault_status(p)) & hcregs::kFaultStatusFaultedBit,
+              1u)
+        << "port " << p;
+    EXPECT_GE(regs.read(hcregs::fault_count(p)), 1u);
+  }
+  EXPECT_EQ(regs.read(hcregs::fault_status(2)), 0u);
+
+  // Measure the healthy ports over 20 reservation periods after recovery.
+  const std::uint64_t read_before = cs->ha(2).stats().bytes_read;
+  const std::uint64_t write_before = cs->ha(3).stats().bytes_written;
+  cs->run(20000);
+  const std::uint64_t read_delta = cs->ha(2).stats().bytes_read - read_before;
+  const std::uint64_t write_delta =
+      cs->ha(3).stats().bytes_written - write_before;
+
+  // Reservation: 10 txns/period x 16 beats x 8 B over 20 periods.
+  const double expected = 20.0 * 10 * 16 * 8;
+  EXPECT_GE(read_delta, 0.95 * expected) << "healthy read port starved";
+  EXPECT_LE(read_delta, 1.05 * expected);
+  EXPECT_GE(write_delta, 0.95 * expected) << "healthy write port starved";
+  EXPECT_LE(write_delta, 1.05 * expected);
+
+  // Healthy ports never saw an error completion.
+  EXPECT_EQ(cs->ha(2).stats().reads_failed, 0u);
+  EXPECT_EQ(cs->ha(3).stats().writes_failed, 0u);
+}
+
+}  // namespace
+}  // namespace axihc
