@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "obs/chrome_trace.hpp"
 #include "stats/table.hpp"
 
 namespace axihc {
@@ -129,7 +130,58 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
   for (PortIndex port = 0; port < ha_sections.size(); ++port) {
     add_ha(*ha_sections[port], port);
   }
+
+  if (const IniSection* obs = ini.section("observe")) {
+    observe_.trace = obs->get_bool("trace", false);
+    observe_.metrics = obs->get_bool("metrics", false);
+    observe_.sample_every = obs->get_u64("sample_every", 1000);
+    observe_.trace_capacity =
+        static_cast<std::size_t>(obs->get_u64("trace_capacity", 0));
+    AXIHC_CHECK_MSG(observe_.sample_every >= 1,
+                    "[observe] sample_every must be >= 1");
+  }
+
   soc_->sim().reset();
+}
+
+void ConfiguredSystem::wire_observability() {
+  observability_wired_ = true;
+  trace_.enable(observe_.trace);
+  trace_.set_capacity(observe_.trace_capacity);
+
+  if (HyperConnect* hc = soc_->hyperconnect()) {
+    hc->set_trace(&trace_);
+    hc->register_metrics(registry_);
+  }
+  soc_->memory_controller().set_trace(&trace_);
+  soc_->memory_controller().register_metrics(registry_);
+  for (auto& m : masters_) {
+    m->set_trace(&trace_);
+    m->register_metrics(registry_);
+  }
+
+  // APM-style probe on the FPGA-PS link; its window is the sample period so
+  // per-sample counter deltas line up with the probe's window series.
+  probe_ = std::make_unique<BandwidthProbe>(
+      "apm", soc_->interconnect().master_link(), observe_.sample_every);
+  probe_->register_metrics(registry_);
+  soc_->add(*probe_);
+
+  if (observe_.metrics) {
+    sampler_ = std::make_unique<MetricsSampler>("sampler", registry_,
+                                                observe_.sample_every);
+    soc_->add(*sampler_);
+  }
+}
+
+void ConfiguredSystem::write_trace(std::ostream& os) const {
+  write_chrome_trace(os, trace_, sampler_.get());
+}
+
+void ConfiguredSystem::write_metrics_csv(std::ostream& os) const {
+  AXIHC_CHECK_MSG(sampler_ != nullptr,
+                  "metrics were not enabled for this system");
+  sampler_->write_csv(os);
 }
 
 AxiLink& ConfiguredSystem::attach_port(PortIndex port) {
@@ -211,9 +263,13 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
 }
 
 Cycle ConfiguredSystem::run(Cycle override_cycles) {
+  if (observe_.any() && !observability_wired_) wire_observability();
   const Cycle cycles =
       override_cycles != 0 ? override_cycles : configured_cycles_;
   soc_->sim().run(cycles);
+  // Final cumulative sample: the last row of the time series then matches
+  // the end-of-run totals (e.g. apm.read_bytes == total_read_bytes()).
+  if (sampler_) sampler_->finalize(soc_->sim().now());
   return soc_->sim().now();
 }
 

@@ -31,6 +31,12 @@
 //   start = 2000
 //   duration = 0                     ; 0 = forever
 //
+//   [observe]                        ; optional observability layer
+//   trace = true                     ; record typed events (Chrome trace)
+//   metrics = true                   ; sample the metrics registry
+//   sample_every = 1000              ; sampler period / APM window (cycles)
+//   trace_capacity = 0               ; max retained events; 0 = unbounded
+//
 // Fault-targeted ports get a FaultInjector spliced between the HA and the
 // interconnect; "mem_slverr" entries instead configure an SLVERR window
 // (base/bytes keys) on the memory controller. [system] fault_seed seeds the
@@ -48,10 +54,25 @@
 #include "ha/dma_engine.hpp"
 #include "ha/dnn_accelerator.hpp"
 #include "ha/traffic_gen.hpp"
+#include "obs/metrics.hpp"
 #include "platform/platform.hpp"
+#include "sim/trace.hpp"
 #include "soc/soc.hpp"
+#include "stats/bandwidth_probe.hpp"
 
 namespace axihc {
+
+/// Observability settings ([observe] section; the axihc CLI flags override
+/// them). Both halves are independent: `trace` records typed events for the
+/// Chrome-trace export, `metrics` samples the registry every `sample_every`
+/// cycles.
+struct ObserveConfig {
+  bool trace = false;
+  bool metrics = false;
+  Cycle sample_every = 1000;
+  std::size_t trace_capacity = 0;  // 0 = unbounded
+  [[nodiscard]] bool any() const { return trace || metrics; }
+};
 
 /// A fully-assembled experiment: the SoC plus the configured HAs, ready to
 /// run. Owns everything.
@@ -81,7 +102,30 @@ class ConfiguredSystem {
   }
   [[nodiscard]] const FaultInjector& injector(std::size_t i) const;
 
+  /// Mutable observability settings. Changes only take effect before the
+  /// first run() call (the layer is wired lazily on first run).
+  [[nodiscard]] ObserveConfig& observe_config() { return observe_; }
+
+  /// The recorded event stream (empty unless observe trace was on).
+  [[nodiscard]] const EventTrace& trace() const { return trace_; }
+  /// The sampler, or nullptr when metrics were never enabled.
+  [[nodiscard]] const MetricsSampler* sampler() const {
+    return sampler_.get();
+  }
+  /// The APM-style probe on the interconnect master link, or nullptr.
+  [[nodiscard]] const BandwidthProbe* probe() const { return probe_.get(); }
+
+  /// Chrome trace-event JSON (Perfetto-loadable): the event stream plus the
+  /// sampled metrics as counter tracks.
+  void write_trace(std::ostream& os) const;
+  /// Sampled metrics time series as CSV.
+  void write_metrics_csv(std::ostream& os) const;
+
  private:
+  /// Hands the trace to every instrumented component, registers all
+  /// metrics, and attaches the APM probe + sampler. Called once, from the
+  /// first run() with observability requested.
+  void wire_observability();
   void add_ha(const IniSection& section, PortIndex port);
   /// The link the HA on `port` should master: the interconnect port itself,
   /// or a fresh intermediate link behind a FaultInjector when the scenario
@@ -96,6 +140,13 @@ class ConfiguredSystem {
   FaultScenario scenario_;
   std::vector<std::unique_ptr<AxiLink>> fault_links_;
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
+
+  ObserveConfig observe_;
+  bool observability_wired_ = false;
+  EventTrace trace_;
+  MetricsRegistry registry_;
+  std::unique_ptr<MetricsSampler> sampler_;
+  std::unique_ptr<BandwidthProbe> probe_;
 };
 
 /// Parses + builds in one call (throws ModelError with a line/section

@@ -39,8 +39,14 @@ void DmaEngine::reset_master() {
   write_issued_bytes_ = write_done_bytes_ = 0;
   jobs_done_ = 0;
   armed_ = !cfg_.externally_triggered;
+  job_slice_open_ = false;
   job_done_cycles_.clear();
   copy_buffer_.clear();
+}
+
+void DmaEngine::register_metrics(MetricsRegistry& reg) {
+  AxiMasterBase::register_metrics(reg);
+  reg.add_counter(name() + ".jobs_done", &jobs_done_);
 }
 
 bool DmaEngine::read_stream_active() const {
@@ -53,6 +59,10 @@ bool DmaEngine::write_stream_active() const {
 
 void DmaEngine::tick(Cycle now) {
   if (armed_ && !finished()) {
+    if (!job_slice_open_ && tracing()) {
+      trace()->record_begin(now, name(), "job");
+      job_slice_open_ = true;
+    }
     // Issue read bursts back-to-back until the job's read half is fully
     // requested.
     if (read_stream_active() && read_issued_bytes_ < cfg_.bytes_per_job &&
@@ -112,6 +122,10 @@ void DmaEngine::maybe_finish_job(Cycle now) {
 
   ++jobs_done_;
   job_done_cycles_.push_back(now);
+  if (job_slice_open_) {
+    if (tracing()) trace()->record_end(now, name(), "job");
+    job_slice_open_ = false;
+  }
   if (cfg_.externally_triggered) {
     // Idle until the SW-task programs the next job (interrupt raised by
     // the control slave on this busy->idle edge).

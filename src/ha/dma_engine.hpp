@@ -67,6 +67,9 @@ class DmaEngine final : public AxiMasterBase, public ControllableHa {
     return cfg_.max_jobs != 0 && jobs_done_ >= cfg_.max_jobs;
   }
 
+  /// Base metrics plus the job counter.
+  void register_metrics(MetricsRegistry& reg) override;
+
  private:
   void on_read_beat(const RBeat& beat, Cycle now) override;
   void on_read_complete(const AddrReq& req, Cycle now) override;
@@ -84,6 +87,7 @@ class DmaEngine final : public AxiMasterBase, public ControllableHa {
   std::uint64_t write_done_bytes_ = 0;
   std::uint64_t jobs_done_ = 0;
   bool armed_ = false;
+  bool job_slice_open_ = false;  // a "job" duration slice is begun on trace_
   std::vector<Cycle> job_done_cycles_;
   /// kCopy: data read but not yet written back.
   std::vector<std::uint64_t> copy_buffer_;

@@ -11,6 +11,16 @@ namespace {
 constexpr std::uint64_t KB = 1024;
 constexpr std::uint64_t MB = 1024 * 1024;
 constexpr std::uint64_t M = 1'000'000;
+
+/// Trace slice label for a bus-visible phase; nullptr for kDone (idle).
+const char* phase_label(int phase) {
+  switch (phase) {
+    case 0: return "load";
+    case 1: return "compute";
+    case 2: return "store";
+    default: return nullptr;
+  }
+}
 }  // namespace
 
 std::vector<DnnLayer> googlenet_layers() {
@@ -100,7 +110,29 @@ void DnnAccelerator::start_layer() {
   store_issued_ = store_done_ = 0;
 }
 
+void DnnAccelerator::register_metrics(MetricsRegistry& reg) {
+  AxiMasterBase::register_metrics(reg);
+  reg.add_counter(name() + ".frames_done", &frames_);
+  reg.add_gauge(name() + ".layer_index",
+                [this] { return static_cast<double>(layer_idx_); });
+  reg.add_gauge(name() + ".phase", [this] {
+    return static_cast<double>(static_cast<int>(phase_));
+  });
+}
+
+void DnnAccelerator::trace_phase_change(Cycle now) {
+  if (phase_ == traced_phase_) return;
+  if (const char* old_label = phase_label(static_cast<int>(traced_phase_))) {
+    trace()->record_end(now, name(), old_label);
+  }
+  if (const char* new_label = phase_label(static_cast<int>(phase_))) {
+    trace()->record_begin(now, name(), new_label);
+  }
+  traced_phase_ = phase_;
+}
+
 void DnnAccelerator::tick(Cycle now) {
+  if (tracing()) trace_phase_change(now);
   switch (phase_) {
     case Phase::kLoad: {
       if (load_issued_ < load_total_ && can_issue_read()) {
@@ -164,6 +196,7 @@ void DnnAccelerator::advance_after_store(Cycle now) {
   // this busy->idle edge in SW-task controlled operation).
   ++frames_;
   frame_done_cycles_.push_back(now);
+  if (tracing()) trace()->record(now, name(), "frame_done");
   layer_idx_ = 0;
   if (cfg_.externally_triggered || finished()) {
     phase_ = Phase::kDone;

@@ -80,6 +80,9 @@ class DnnAccelerator final : public AxiMasterBase, public ControllableHa {
   /// Total bus bytes one frame moves (reads + writes) — sanity checks.
   [[nodiscard]] std::uint64_t bytes_per_frame() const;
 
+  /// Base metrics plus the frame counter and phase gauge.
+  void register_metrics(MetricsRegistry& reg) override;
+
  private:
   enum class Phase { kLoad, kCompute, kStore, kDone };
 
@@ -89,10 +92,15 @@ class DnnAccelerator final : public AxiMasterBase, public ControllableHa {
 
   void start_layer();
   void advance_after_store(Cycle now);
+  /// Emits begin/end slices when phase_ changed since the last tick. Phase
+  /// switches happen mid-tick, so the slice boundary lands on the next
+  /// tick's timestamp (one cycle late, constant skew).
+  void trace_phase_change(Cycle now);
 
   DnnConfig cfg_;
   std::size_t layer_idx_ = 0;
   Phase phase_ = Phase::kLoad;
+  Phase traced_phase_ = Phase::kDone;  // last phase mirrored into the trace
 
   // Load phase bookkeeping.
   std::uint64_t load_total_ = 0;

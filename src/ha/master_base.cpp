@@ -19,6 +19,23 @@ AxiMasterBase::AxiMasterBase(std::string name, AxiLink& link,
   AXIHC_CHECK(max_ow_ > 0);
 }
 
+void AxiMasterBase::register_metrics(MetricsRegistry& reg) {
+  reg.add_counter(name() + ".reads_issued", &stats_.reads_issued);
+  reg.add_counter(name() + ".reads_completed", &stats_.reads_completed);
+  reg.add_counter(name() + ".writes_issued", &stats_.writes_issued);
+  reg.add_counter(name() + ".writes_completed", &stats_.writes_completed);
+  reg.add_counter(name() + ".bytes_read", &stats_.bytes_read);
+  reg.add_counter(name() + ".bytes_written", &stats_.bytes_written);
+  reg.add_counter(name() + ".reads_failed", &stats_.reads_failed);
+  reg.add_counter(name() + ".writes_failed", &stats_.writes_failed);
+  reg.add_gauge(name() + ".reads_outstanding", [this] {
+    return static_cast<double>(reads_in_flight_.size());
+  });
+  reg.add_gauge(name() + ".writes_outstanding", [this] {
+    return static_cast<double>(writes_in_flight_.size());
+  });
+}
+
 void AxiMasterBase::reset() {
   next_id_ = 1;
   reads_in_flight_.clear();
@@ -154,7 +171,10 @@ void AxiMasterBase::pump(Cycle now) {
       reads_in_flight_.erase(reads_in_flight_.begin() +
                              static_cast<std::ptrdiff_t>(slot));
       ++stats_.reads_completed;
-      if (failed) ++stats_.reads_failed;
+      if (failed) {
+        ++stats_.reads_failed;
+        if (tracing()) trace_->record(now, name(), "read_error");
+      }
       stats_.read_latency.record(now - done.issued_at);
       on_read_complete(done, now);
     }
@@ -168,7 +188,10 @@ void AxiMasterBase::pump(Cycle now) {
     writes_in_flight_.erase(writes_in_flight_.begin() +
                             static_cast<std::ptrdiff_t>(slot));
     ++stats_.writes_completed;
-    if (is_error(resp.resp)) ++stats_.writes_failed;
+    if (is_error(resp.resp)) {
+      ++stats_.writes_failed;
+      if (tracing()) trace_->record(now, name(), "write_error");
+    }
     stats_.bytes_written += burst_bytes(done);
     stats_.write_latency.record(now - done.issued_at);
     on_write_complete(done, now);

@@ -23,7 +23,9 @@
 #include <string>
 
 #include "axi/axi.hpp"
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
+#include "sim/trace.hpp"
 #include "stats/stats.hpp"
 
 namespace axihc {
@@ -67,6 +69,14 @@ class AxiMasterBase : public Component {
     return reads_in_flight_.empty() && writes_in_flight_.empty() &&
            w_backlog_.empty();
   }
+
+  /// Observability: error completions (and subclass milestones) become
+  /// trace events. nullptr (the default) disables the hooks.
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  /// Registers traffic counters and outstanding-transaction gauges with
+  /// `reg`. Virtual so subclasses can append their own (jobs done, frames).
+  virtual void register_metrics(MetricsRegistry& reg);
 
  protected:
   /// True when an AR can be pushed this cycle without exceeding the
@@ -115,6 +125,11 @@ class AxiMasterBase : public Component {
   /// prepend the port number (IDs wrap, skipping 0).
   static constexpr TxnId kIdLimit = 1u << 16;
 
+  [[nodiscard]] bool tracing() const {
+    return trace_ != nullptr && trace_->enabled();
+  }
+  [[nodiscard]] EventTrace* trace() { return trace_; }
+
  private:
   struct InFlight {
     AddrReq req;
@@ -140,6 +155,7 @@ class AxiMasterBase : public Component {
   std::deque<WBeat> w_backlog_;
 
   MasterStats stats_;
+  EventTrace* trace_ = nullptr;
 };
 
 }  // namespace axihc

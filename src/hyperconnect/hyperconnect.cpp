@@ -1,5 +1,6 @@
 #include "hyperconnect/hyperconnect.hpp"
 
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
@@ -80,6 +81,50 @@ void HyperConnect::reset() {
   }
 }
 
+std::string HyperConnect::port_source(PortIndex i) const {
+  return name() + ".port" + std::to_string(i);
+}
+
+void HyperConnect::register_metrics(MetricsRegistry& reg) {
+  // runtime_ and budget_left_ are wholesale reassigned by reset(), so their
+  // readers capture the port index and go through `this`, never a pointer
+  // into the vectors.
+  reg.add_counter(name() + ".recharges", &recharges_);
+  reg.add_counter(name() + ".faults_latched", &faults_latched_);
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    const std::string p = port_source(i);
+    reg.add_gauge(p + ".budget_left",
+                  [this, i] { return static_cast<double>(budget_left_[i]); });
+    reg.add_gauge(p + ".efifo_level", [this, i] {
+      AxiLink& link = efifos_[i].link();
+      return static_cast<double>(link.ar.size() + link.aw.size() +
+                                 link.w.size() + link.r.size() +
+                                 link.b.size());
+    });
+    reg.add_gauge(p + ".reads_outstanding", [this, i] {
+      return static_cast<double>(ts_[i]->reads_outstanding());
+    });
+    reg.add_gauge(p + ".writes_outstanding", [this, i] {
+      return static_cast<double>(ts_[i]->writes_outstanding());
+    });
+    reg.add_gauge(p + ".coupled", [this, i] {
+      return runtime_.coupled[i] ? 1.0 : 0.0;
+    });
+    reg.add_gauge(p + ".faulted", [this, i] {
+      return runtime_.fault[i].faulted ? 1.0 : 0.0;
+    });
+    reg.add_counter(p + ".fault_count", [this, i] {
+      return static_cast<double>(runtime_.fault[i].count);
+    });
+    const PortCounters& c = counters(i);  // stable element of counters_
+    reg.add_counter(p + ".ar_granted", &c.ar_granted);
+    reg.add_counter(p + ".aw_granted", &c.aw_granted);
+    reg.add_counter(p + ".r_beats", &c.r_beats);
+    reg.add_counter(p + ".w_beats", &c.w_beats);
+    reg.add_counter(p + ".b_resps", &c.b_resps);
+  }
+}
+
 std::uint32_t HyperConnect::budget_left(PortIndex i) const {
   AXIHC_CHECK(i < budget_left_.size());
   return budget_left_[i];
@@ -129,6 +174,9 @@ void HyperConnect::tick_central_unit(Cycle now) {
   // HA behind the port is being replaced and is reset before recoupling.
   for (PortIndex i = 0; i < num_ports(); ++i) {
     const bool want = runtime_.coupled[i];
+    if (tracing() && want != efifos_[i].coupled()) {
+      trace_->record(now, port_source(i), want ? "recouple" : "decouple");
+    }
     if (!want) {
       AxiLink& link = port_link(i);
       link.ar.clear_contents();
@@ -154,6 +202,16 @@ void HyperConnect::tick_central_unit(Cycle now) {
   // Synchronous budget recharge for all TS modules every period T.
   if (runtime_.reservation_period != 0 &&
       now % runtime_.reservation_period == 0) {
+    if (tracing()) {
+      trace_->record(now, name() + ".central", "window_recharge");
+      // Budget consumed in the window that just closed, per port — the
+      // reservation-window accounting behind the Fig. 5 bandwidth plots.
+      for (PortIndex i = 0; i < num_ports(); ++i) {
+        trace_->record_counter(
+            now, port_source(i), "budget_used",
+            static_cast<double>(runtime_.budgets[i] - budget_left_[i]));
+      }
+    }
     budget_left_ = runtime_.budgets;
     ++recharges_;
   }
@@ -198,6 +256,10 @@ void HyperConnect::trigger_fault(PortIndex i, FaultCause cause, Cycle now) {
   f.last_cycle = now;
   ++faults_latched_;
   efifos_[i].set_faulted(true);
+  if (tracing()) {
+    trace_->record(now, port_source(i),
+                   "fault cause=" + std::to_string(static_cast<int>(cause)));
+  }
   AXIHC_LOG_WARN() << name() << " @" << now << ": port " << i
                    << " faulted (cause " << static_cast<int>(cause)
                    << ") — isolating and synthesizing SLVERR completions";
@@ -403,9 +465,17 @@ void HyperConnect::tick(Cycle now) {
   // EXBAR: fixed-granularity round-robin, one grant per address channel.
   if (auto p = exbar_.grant_read(ts_ar_ptrs_, xbar_ar_)) {
     ++mutable_counters(*p).ar_granted;
+    if (tracing()) {
+      trace_->record(now, name() + ".exbar",
+                     "ar_grant_p" + std::to_string(*p));
+    }
   }
   if (auto p = exbar_.grant_write(ts_aw_ptrs_, xbar_aw_)) {
     ++mutable_counters(*p).aw_granted;
+    if (tracing()) {
+      trace_->record(now, name() + ".exbar",
+                     "aw_grant_p" + std::to_string(*p));
+    }
   }
 
   // Master eFIFO stage toward the FPGA-PS interface.

@@ -25,6 +25,8 @@
 #include "hyperconnect/register_file.hpp"
 #include "hyperconnect/transaction_supervisor.hpp"
 #include "interconnect/interconnect.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
 
 namespace axihc {
 
@@ -71,7 +73,24 @@ class HyperConnect final : public Interconnect {
     return faults_latched_;
   }
 
+  /// Observability: records typed events into `trace` — window recharges
+  /// with per-port budget accounting, EXBAR grants, decouple/recouple
+  /// transitions and fault instants. nullptr (the default) disables the
+  /// hooks at the cost of one branch each.
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  /// Registers this instance's gauges and counters (per-port budget
+  /// remaining, eFIFO occupancy, grants/beats, outstanding sub-transactions,
+  /// fault telemetry) with `reg`. The readers borrow `this`, which must
+  /// outlive the registry's sampling.
+  void register_metrics(MetricsRegistry& reg);
+
  private:
+  [[nodiscard]] bool tracing() const {
+    return trace_ != nullptr && trace_->enabled();
+  }
+  [[nodiscard]] std::string port_source(PortIndex i) const;
+
   void tick_control_interface();
   void tick_central_unit(Cycle now);
   void tick_protection(Cycle now);
@@ -101,6 +120,7 @@ class HyperConnect final : public Interconnect {
 
   HcRegisterFile regfile_;
   AxiLink control_link_;
+  EventTrace* trace_ = nullptr;
 };
 
 }  // namespace axihc

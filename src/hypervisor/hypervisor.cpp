@@ -1,5 +1,7 @@
 #include "hypervisor/hypervisor.hpp"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.hpp"
@@ -24,6 +26,19 @@ void Hypervisor::reset() {
   poll_in_flight_ = false;
   events_.clear();
   fault_events_.clear();
+}
+
+void Hypervisor::register_metrics(MetricsRegistry& reg) {
+  reg.add_counter(name() + ".isolations", [this] {
+    return static_cast<double>(events_.size());
+  });
+  reg.add_counter(name() + ".faults_observed", [this] {
+    return static_cast<double>(fault_events_.size());
+  });
+  reg.add_gauge(name() + ".ports_isolated", [this] {
+    return static_cast<double>(
+        std::count(isolated_.begin(), isolated_.end(), true));
+  });
 }
 
 std::size_t Hypervisor::add_domain(Domain domain) {
@@ -99,6 +114,10 @@ void Hypervisor::poll_counters(Cycle now) {
     const std::uint64_t allowed = watchdog_.max_txns_per_poll[p];
     if (allowed != 0 && delta > allowed && !isolated_[p]) {
       events_.push_back({now, p, delta, allowed});
+      if (tracing()) {
+        trace_->record(now, name(),
+                       "watchdog_isolate p" + std::to_string(p));
+      }
       AXIHC_LOG_INFO() << name() << ": port " << p << " issued " << delta
                        << " txns (allowed " << allowed << ") — "
                        << (watchdog_.auto_isolate ? "decoupling"
@@ -120,6 +139,10 @@ void Hypervisor::poll_counters(Cycle now) {
       const auto cause = static_cast<FaultCause>(
           (status >> hcregs::kFaultStatusCauseShift) & 0x7);
       fault_events_.push_back({now, p, cause});
+      if (tracing()) {
+        trace_->record(now, name(),
+                       "fault_observed p" + std::to_string(p));
+      }
       AXIHC_LOG_INFO() << name() << ": port " << p
                        << " fault latched (cause "
                        << static_cast<unsigned>(cause) << ") — "

@@ -21,7 +21,9 @@
 
 #include "driver/hyperconnect_driver.hpp"
 #include "hypervisor/domain.hpp"
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
+#include "sim/trace.hpp"
 
 namespace axihc {
 
@@ -90,8 +92,19 @@ class Hypervisor final : public Component {
   void tick(Cycle now) override;
   void reset() override;
 
+  /// Observability: watchdog isolations and observed faults become trace
+  /// instants. nullptr (the default) disables the hooks.
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  /// Registers intervention counters (isolations, faults observed, ports
+  /// currently isolated) with `reg`.
+  void register_metrics(MetricsRegistry& reg);
+
  private:
   void poll_counters(Cycle now);
+  [[nodiscard]] bool tracing() const {
+    return trace_ != nullptr && trace_->enabled();
+  }
 
   HyperConnectDriver& driver_;
   std::vector<Domain> domains_;
@@ -104,6 +117,7 @@ class Hypervisor final : public Component {
   bool poll_in_flight_ = false;
   std::vector<IsolationEvent> events_;
   std::vector<FaultEvent> fault_events_;
+  EventTrace* trace_ = nullptr;
 };
 
 }  // namespace axihc

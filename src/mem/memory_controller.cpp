@@ -17,6 +17,21 @@ MemoryController::MemoryController(std::string name, AxiLink& link,
   AXIHC_CHECK(cfg_.banks > 0);
 }
 
+void MemoryController::register_metrics(MetricsRegistry& reg) {
+  reg.add_gauge(name() + ".queue_depth",
+                [this] { return static_cast<double>(queue_.size()); });
+  reg.add_counter(name() + ".reads_served", &reads_served_);
+  reg.add_counter(name() + ".writes_served", &writes_served_);
+  reg.add_counter(name() + ".beats_served", &beats_served_);
+  reg.add_counter(name() + ".busy_cycles", &busy_cycles_);
+  reg.add_counter(name() + ".row_hits", &row_hits_);
+  reg.add_counter(name() + ".row_misses", &row_misses_);
+  reg.add_counter(name() + ".reordered", &reordered_);
+  reg.add_counter(name() + ".refreshes", &refreshes_);
+  reg.add_counter(name() + ".decode_errors", &decode_errors_);
+  reg.add_counter(name() + ".slv_errors", &slv_errors_);
+}
+
 void MemoryController::reset() {
   queue_.clear();
   phase_ = Phase::kIdle;
@@ -136,8 +151,14 @@ void MemoryController::start_next_command() {
   current_ = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
   current_resp_ = resolve_resp(current_.req);
-  if (current_resp_ == Resp::kDecErr) ++decode_errors_;
-  if (current_resp_ == Resp::kSlvErr) ++slv_errors_;
+  if (current_resp_ == Resp::kDecErr) {
+    ++decode_errors_;
+    if (tracing()) trace_->record(now_, name(), "decerr");
+  }
+  if (current_resp_ == Resp::kSlvErr) {
+    ++slv_errors_;
+    if (tracing()) trace_->record(now_, name(), "slverr");
+  }
   wait_left_ = access_latency(current_.req.addr);
   beats_left_ = current_.req.beats;
   next_beat_addr_ = current_.req.addr;
@@ -146,6 +167,7 @@ void MemoryController::start_next_command() {
 }
 
 void MemoryController::tick(Cycle now) {
+  now_ = now;
   accept_new_requests();
   if (cfg_.scheduling == MemScheduling::kFrFcfs) buffer_write_data();
 
@@ -161,6 +183,7 @@ void MemoryController::tick(Cycle now) {
     if (now % cfg_.refresh_period == 0) {
       open_row_.assign(cfg_.banks, kNoRow);
       ++refreshes_;
+      if (tracing()) trace_->record(now, name(), "refresh");
     }
     return;
   }

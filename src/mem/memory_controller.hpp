@@ -21,7 +21,9 @@
 #include "axi/axi.hpp"
 #include "common/types.hpp"
 #include "mem/backing_store.hpp"
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
+#include "sim/trace.hpp"
 
 namespace axihc {
 
@@ -102,6 +104,13 @@ class MemoryController final : public Component {
   /// Transactions answered with SLVERR (error-synthesizing window).
   [[nodiscard]] std::uint64_t slv_errors() const { return slv_errors_; }
 
+  /// Observability: refresh windows and error responses become trace
+  /// instants. nullptr (the default) disables the hooks.
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  /// Registers queue depth, served/row-hit/row-miss counters etc. with `reg`.
+  void register_metrics(MetricsRegistry& reg);
+
  private:
   struct Command {
     bool is_write = false;
@@ -153,6 +162,12 @@ class MemoryController final : public Component {
   std::uint64_t row_misses_ = 0;
   std::uint64_t decode_errors_ = 0;
   std::uint64_t slv_errors_ = 0;
+
+  [[nodiscard]] bool tracing() const {
+    return trace_ != nullptr && trace_->enabled();
+  }
+  EventTrace* trace_ = nullptr;
+  Cycle now_ = 0;  // tick timestamp, for hooks below start_next_command
 };
 
 }  // namespace axihc

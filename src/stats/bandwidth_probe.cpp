@@ -13,6 +13,11 @@ BandwidthProbe::BandwidthProbe(std::string name, AxiLink& link, Cycle window)
   window_end_ = window_;
 }
 
+void BandwidthProbe::register_metrics(MetricsRegistry& reg) {
+  reg.add_counter(name() + ".read_bytes", &read_total_);
+  reg.add_counter(name() + ".write_bytes", &write_total_);
+}
+
 void BandwidthProbe::reset() {
   last_r_pushes_ = 0;
   last_w_pushes_ = 0;

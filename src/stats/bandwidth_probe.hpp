@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "axi/axi.hpp"
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
 
 namespace axihc {
@@ -44,6 +45,11 @@ class BandwidthProbe final : public Component {
 
   /// Average bandwidth over everything observed so far, in bytes/second.
   [[nodiscard]] double average_read_bw(double clock_hz, Cycle now) const;
+
+  /// Registers cumulative byte counters with `reg`. Sampled as counters,
+  /// the per-sample deltas reproduce the windowed series and the final
+  /// sample equals total_read_bytes()/total_write_bytes() exactly.
+  void register_metrics(MetricsRegistry& reg);
 
  private:
   static constexpr std::uint64_t kBusBytes = 8;

@@ -13,7 +13,9 @@
 namespace axihc {
 
 /// Accumulates latency samples (in cycles) and reports min/max/mean and
-/// percentiles. Samples are retained, so percentiles are exact.
+/// percentiles. Samples are retained, so percentiles are exact. The sorted
+/// order is cached across queries and invalidated by record(), so report
+/// code asking for several percentiles sorts once, not per query.
 class LatencyStats {
  public:
   void record(Cycle latency);
@@ -26,11 +28,19 @@ class LatencyStats {
   /// Exact p-th percentile (0 < p <= 100) by nearest-rank. Requires samples.
   [[nodiscard]] Cycle percentile(double p) const;
 
-  void clear() { samples_.clear(); }
+  void clear() {
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+  }
   [[nodiscard]] const std::vector<Cycle>& samples() const { return samples_; }
 
  private:
+  [[nodiscard]] const std::vector<Cycle>& sorted() const;
+
   std::vector<Cycle> samples_;
+  mutable std::vector<Cycle> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 /// Converts (work completed, elapsed cycles) into per-second rates given the

@@ -30,6 +30,29 @@ TEST(LatencyStats, PercentilesExact) {
   EXPECT_EQ(s.percentile(1), 1u);
 }
 
+TEST(LatencyStats, SortCacheSurvivesQueriesAndInvalidatesOnRecord) {
+  LatencyStats s;
+  for (Cycle v : {30u, 10u, 20u}) s.record(v);
+  // Several queries against one cached sort.
+  EXPECT_EQ(s.percentile(50), 20u);
+  EXPECT_EQ(s.percentile(100), 30u);
+  EXPECT_EQ(s.min(), 10u);
+  EXPECT_EQ(s.max(), 30u);
+  // A new sample must invalidate the cache, not be ignored by it.
+  s.record(5);
+  EXPECT_EQ(s.min(), 5u);
+  EXPECT_EQ(s.percentile(25), 5u);
+  EXPECT_EQ(s.percentile(100), 30u);
+  s.record(100);
+  EXPECT_EQ(s.max(), 100u);
+  // samples() stays in insertion order regardless of percentile queries.
+  EXPECT_EQ(s.samples().front(), 30u);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+  s.record(7);
+  EXPECT_EQ(s.percentile(50), 7u);
+}
+
 TEST(LatencyStats, EmptyThrows) {
   LatencyStats s;
   EXPECT_THROW(s.min(), ModelError);

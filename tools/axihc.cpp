@@ -1,6 +1,7 @@
 // axihc — run an interconnect experiment from an INI description.
 //
-//   axihc <config.ini> [--cycles N]
+//   axihc <config.ini> [--cycles N] [--trace-out f.json]
+//         [--metrics-out f.csv] [--sample-every N]
 //   axihc --example            # print a ready-to-edit sample config
 //
 // See src/config/system_builder.hpp for the full config reference.
@@ -8,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "common/check.hpp"
 #include "config/system_builder.hpp"
@@ -37,10 +39,17 @@ type = dma
 mode = readwrite
 bytes_per_job = 262144
 burst = 16
+
+[observe]                     ; optional; --trace-out/--metrics-out imply it
+trace = false                 ; record typed events (Chrome trace JSON)
+metrics = false               ; sample every counter/gauge in the registry
+sample_every = 1000           ; sampler period / APM window, in cycles
+trace_capacity = 0            ; max retained events; 0 = unbounded
 )";
 
 void usage() {
-  std::cerr << "usage: axihc <config.ini> [--cycles N]\n"
+  std::cerr << "usage: axihc <config.ini> [--cycles N] [--trace-out f.json]\n"
+               "             [--metrics-out f.csv] [--sample-every N]\n"
                "       axihc --example > experiment.ini\n";
 }
 
@@ -57,9 +66,18 @@ int main(int argc, char** argv) {
   }
 
   axihc::Cycle override_cycles = 0;
+  std::string trace_out;
+  std::string metrics_out;
+  axihc::Cycle sample_every = 0;  // 0 = keep the config's value
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--cycles") == 0) {
       override_cycles = std::strtoull(argv[i + 1], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--sample-every") == 0) {
+      sample_every = std::strtoull(argv[i + 1], nullptr, 0);
     }
   }
 
@@ -73,8 +91,34 @@ int main(int argc, char** argv) {
 
   try {
     auto system = axihc::build_system(text.str());
+    // CLI flags layer on top of the [observe] section: an output file turns
+    // the corresponding half on, --sample-every overrides the period.
+    axihc::ObserveConfig& obs = system->observe_config();
+    if (!trace_out.empty()) obs.trace = true;
+    if (!metrics_out.empty()) obs.metrics = true;
+    if (sample_every != 0) obs.sample_every = sample_every;
+
     system->run(override_cycles);
     std::cout << system->report();
+
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << "axihc: cannot write '" << trace_out << "'\n";
+        return 1;
+      }
+      system->write_trace(out);
+      std::cerr << "axihc: wrote trace to " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << "axihc: cannot write '" << metrics_out << "'\n";
+        return 1;
+      }
+      system->write_metrics_csv(out);
+      std::cerr << "axihc: wrote metrics to " << metrics_out << "\n";
+    }
   } catch (const axihc::ModelError& e) {
     std::cerr << "axihc: " << e.what() << "\n";
     return 1;
