@@ -13,8 +13,10 @@
 // Measurement 2 (end-to-end): the victim's worst-case read latency, which
 // folds in the interconnect pipeline and memory queueing on top of the
 // arbitration term.
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ha/traffic_gen.hpp"
@@ -94,27 +96,41 @@ GranularityResult measure(MakeIcn make_icn) {
 
 void run() {
   std::cout << "==== Ablation: round-robin grant granularity ====\n\n";
+
+  const std::vector<std::uint32_t> grans{1, 2, 4, 8};
+  std::vector<std::function<GranularityResult()>> jobs;
+  for (const std::uint32_t g : grans) {
+    jobs.emplace_back([g] {
+      return measure([g] {
+        SmartConnectConfig cfg;
+        cfg.grant_granularity = g;
+        cfg.max_outstanding_reads = 8;  // bound memory queueing so the
+                                        // arbitration term is visible
+        return std::make_unique<SmartConnect>("sc", 2, cfg);
+      });
+    });
+  }
+  jobs.emplace_back([] {
+    return measure([] {
+      HyperConnectConfig cfg;
+      cfg.num_ports = 2;
+      cfg.route_capacity = 8;
+      return std::make_unique<HyperConnect>("hc", cfg);
+    });
+  });
+  const std::vector<GranularityResult> results =
+      bench::run_parallel(std::move(jobs));
+
   Table t({"arbiter", "granularity g", "paper bound g x (N-1)",
            "worst observed interference (txns)",
            "victim worst-case read latency (cyc)"});
-  for (std::uint32_t g : {1u, 2u, 4u, 8u}) {
-    const GranularityResult r = measure([g] {
-      SmartConnectConfig cfg;
-      cfg.grant_granularity = g;
-      cfg.max_outstanding_reads = 8;  // bound memory queueing so the
-                                      // arbitration term is visible
-      return std::make_unique<SmartConnect>("sc", 2, cfg);
-    });
-    t.add_row({"SmartConnect model", std::to_string(g), std::to_string(g),
-               std::to_string(r.worst_interference_txns),
-               std::to_string(r.worst_read_latency)});
+  for (std::size_t i = 0; i < grans.size(); ++i) {
+    t.add_row({"SmartConnect model", std::to_string(grans[i]),
+               std::to_string(grans[i]),
+               std::to_string(results[i].worst_interference_txns),
+               std::to_string(results[i].worst_read_latency)});
   }
-  const GranularityResult hc = measure([] {
-    HyperConnectConfig cfg;
-    cfg.num_ports = 2;
-    cfg.route_capacity = 8;
-    return std::make_unique<HyperConnect>("hc", cfg);
-  });
+  const GranularityResult& hc = results.back();
   t.add_row({"HyperConnect (EXBAR)", "1 (fixed)", "1",
              std::to_string(hc.worst_interference_txns),
              std::to_string(hc.worst_read_latency)});

@@ -6,7 +6,9 @@
 // the configured share (the staircase Fig. 5 exploits). A second sweep
 // varies the period at a fixed 70/30 split: shorter periods give finer
 // interleaving at the same long-run share.
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "ha/traffic_gen.hpp"
@@ -53,21 +55,34 @@ double measured_share(Cycle period, double share0) {
 
 void run() {
   std::cout << "==== Ablation: reservation budgets ====\n\n";
+
+  // Both grids are independent simulations: run every point in parallel.
+  const std::vector<double> shares{0.1, 0.3, 0.5, 0.7, 0.9};
+  const std::vector<Cycle> periods{500, 1000, 2000, 8000, 32000};
+  std::vector<std::function<double()>> jobs;
+  for (const double share : shares) {
+    jobs.emplace_back([=] { return measured_share(2000, share); });
+  }
+  for (const Cycle period : periods) {
+    jobs.emplace_back([=] { return measured_share(period, 0.7); });
+  }
+  const std::vector<double> results = bench::run_parallel(std::move(jobs));
+
   std::cout << "Configured vs measured bandwidth share (period 2000):\n\n";
   Table t({"configured share (port 0)", "measured share", "error"});
-  for (const double share : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    const double m = measured_share(2000, share);
-    t.add_row({Table::num(100 * share, 0) + "%",
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double m = results[i];
+    t.add_row({Table::num(100 * shares[i], 0) + "%",
                Table::num(100 * m, 1) + "%",
-               Table::num(100 * (m - share), 1) + " pp"});
+               Table::num(100 * (m - shares[i]), 1) + " pp"});
   }
   t.print_markdown(std::cout);
 
   std::cout << "\nPeriod sweep at a 70/30 split:\n\n";
   Table p({"period (cycles)", "measured share (port 0)"});
-  for (const Cycle period : {500u, 1000u, 2000u, 8000u, 32000u}) {
-    p.add_row({std::to_string(period),
-               Table::num(100 * measured_share(period, 0.7), 1) + "%"});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    p.add_row({std::to_string(periods[i]),
+               Table::num(100 * results[shares.size() + i], 1) + "%"});
   }
   p.print_markdown(std::cout);
   std::cout << "\nExpected shape: measured share tracks the configured "

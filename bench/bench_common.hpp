@@ -10,9 +10,15 @@
 // 4x-scaled workload: same shapes, minutes -> seconds.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "ha/dma_engine.hpp"
 #include "ha/dnn_accelerator.hpp"
@@ -93,6 +99,46 @@ inline double rate_per_second(const std::vector<Cycle>& completions) {
   }
   const Cycle span = completions.back() - completions.front();
   return meter.per_second(completions.size() - 1, span);
+}
+
+/// Worker threads for run_parallel: AXIHC_BENCH_THREADS overrides (0 or
+/// unset = one per hardware thread).
+inline unsigned bench_threads() {
+  if (const char* env = std::getenv("AXIHC_BENCH_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Runs independent scenario jobs across a thread pool and returns their
+/// results in job order (the printed sweep is identical to a serial run).
+/// Each job must own its entire simulation (Simulator, SocSystem, HAs,
+/// stores) — simulations share no mutable state, which is what makes the
+/// sweep embarrassingly parallel AND deterministic per job.
+template <typename Result>
+std::vector<Result> run_parallel(std::vector<std::function<Result()>> jobs) {
+  std::vector<Result> results(jobs.size());
+  const unsigned threads =
+      std::min<unsigned>(bench_threads(),
+                         static_cast<unsigned>(jobs.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = jobs[i]();
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < jobs.size();
+         i = next.fetch_add(1)) {
+      results[i] = jobs[i]();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
 }
 
 inline void print_header(const std::string& title, std::uint64_t scale) {

@@ -7,6 +7,7 @@
 // extra propagation latency of SmartConnect is hidden by pipelining once a
 // single master streams continuously).
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "stats/table.hpp"
@@ -45,10 +46,17 @@ double dma_rate(InterconnectKind kind, std::uint64_t scale) {
 void run(std::uint64_t scale) {
   bench::print_header("Fig. 4: CHaiDNN and HA_DMA in isolation", scale);
 
-  const double fps_hc = dnn_fps(InterconnectKind::kHyperConnect, scale);
-  const double fps_sc = dnn_fps(InterconnectKind::kSmartConnect, scale);
-  const double dma_hc = dma_rate(InterconnectKind::kHyperConnect, scale);
-  const double dma_sc = dma_rate(InterconnectKind::kSmartConnect, scale);
+  // Four independent simulations — sweep them across the thread pool.
+  const std::vector<double> r =
+      bench::run_parallel<double>(
+          {[=] { return dnn_fps(InterconnectKind::kHyperConnect, scale); },
+           [=] { return dnn_fps(InterconnectKind::kSmartConnect, scale); },
+           [=] { return dma_rate(InterconnectKind::kHyperConnect, scale); },
+           [=] { return dma_rate(InterconnectKind::kSmartConnect, scale); }});
+  const double fps_hc = r[0];
+  const double fps_sc = r[1];
+  const double dma_hc = r[2];
+  const double dma_sc = r[3];
 
   Table t({"HA (metric)", "HyperConnect", "SmartConnect", "HC/SC ratio",
            "paper"});

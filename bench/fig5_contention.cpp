@@ -7,7 +7,9 @@
 //  * Under HyperConnect, the reservation mechanism assigns X% of the bus to
 //    CHaiDNN and Y=100-X% to the DMA (HC-90-10 ... HC-10-90); HC-90-10
 //    brings CHaiDNN close to its isolation performance.
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "hypervisor/domain.hpp"
@@ -91,23 +93,34 @@ void run(std::uint64_t scale) {
   bench::print_header("Fig. 5: CHaiDNN + HA_DMA under contention", scale);
   const std::uint64_t frames = 2;
 
-  Table t({"configuration", "CHaiDNN (fps)", "HA_DMA (jobs/s)",
-           "CHaiDNN vs isolation"});
-  const PairResult iso = run_isolation(scale, frames);
-  t.add_row({"isolation", Table::num(iso.dnn_fps, 2),
-             Table::num(iso.dma_rate, 2), "100%"});
-
-  auto add = [&](const std::string& label, const PairResult& r) {
-    t.add_row({label, Table::num(r.dnn_fps, 2), Table::num(r.dma_rate, 2),
-               Table::num(100.0 * r.dnn_fps / iso.dnn_fps, 0) + "%"});
-  };
-
-  add("SmartConnect (contention)",
-      run_pair(InterconnectKind::kSmartConnect, scale, 0, frames));
+  // Every configuration is an independent simulation; sweep them across the
+  // thread pool and print in fixed order afterwards.
+  std::vector<std::string> labels{"isolation", "SmartConnect (contention)"};
+  std::vector<std::function<PairResult()>> jobs;
+  jobs.emplace_back([=] { return run_isolation(scale, frames); });
+  jobs.emplace_back([=] {
+    return run_pair(InterconnectKind::kSmartConnect, scale, 0, frames);
+  });
   for (const double share : {0.9, 0.7, 0.5, 0.3, 0.1}) {
     const int x = static_cast<int>(share * 100);
-    add("HC-" + std::to_string(x) + "-" + std::to_string(100 - x),
-        run_pair(InterconnectKind::kHyperConnect, scale, share, frames));
+    labels.push_back("HC-" + std::to_string(x) + "-" +
+                     std::to_string(100 - x));
+    jobs.emplace_back([=] {
+      return run_pair(InterconnectKind::kHyperConnect, scale, share, frames);
+    });
+  }
+  const std::vector<PairResult> results = bench::run_parallel(std::move(jobs));
+
+  const PairResult& iso = results[0];
+  Table t({"configuration", "CHaiDNN (fps)", "HA_DMA (jobs/s)",
+           "CHaiDNN vs isolation"});
+  t.add_row({labels[0], Table::num(iso.dnn_fps, 2),
+             Table::num(iso.dma_rate, 2), "100%"});
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    t.add_row({labels[i], Table::num(results[i].dnn_fps, 2),
+               Table::num(results[i].dma_rate, 2),
+               Table::num(100.0 * results[i].dnn_fps / iso.dnn_fps, 0) +
+                   "%"});
   }
   t.print_markdown(std::cout);
   std::cout << "\nPaper shape: SmartConnect lets the DMA starve CHaiDNN; "

@@ -4,11 +4,17 @@
 // reproduction benches stay fast.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "ha/dma_engine.hpp"
+#include "ha/dnn_accelerator.hpp"
 #include "hyperconnect/hyperconnect.hpp"
+#include "hypervisor/domain.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/memory_controller.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "soc/soc.hpp"
 
 namespace axihc {
 namespace {
@@ -66,6 +72,88 @@ void BM_HyperConnectSystemCycle(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_HyperConnectSystemCycle)->Arg(2)->Arg(4)->Arg(8);
+
+// Whole-system throughput at the fig5 contention workload: GoogleNet DNN
+// plus a greedy 4 MB read+write DMA behind an HC-90-10 reservation. This is
+// the headline "simulated cycles per wall-second" number guarded by
+// BENCH_kernel.json; the throttled DMA windows and DNN compute phases are
+// exactly the quiescent stretches the kernel fast path exists to skip.
+void BM_Fig5ContentionSystem(benchmark::State& state) {
+  const std::uint64_t scale = 64;  // fig5 shapes, sized for bench iterations
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    SocConfig cfg = bench::bench_soc_cfg(InterconnectKind::kHyperConnect);
+    const ReservationPlan plan =
+        plan_bandwidth_split(2000, 27.0, {0.9, 0.1});
+    cfg.hc.reservation_period = plan.period;
+    cfg.hc.initial_budgets = plan.budgets;
+    SocSystem soc(cfg);
+    DnnAccelerator dnn("chaidnn", soc.port(0),
+                       bench::scaled_googlenet(scale, 1));
+    DmaEngine dma("ha_dma", soc.port(1), bench::paper_dma(scale, 0));
+    soc.add(dnn);
+    soc.add(dma);
+    soc.sim().reset();
+    soc.sim().run_until(
+        [&] { return dnn.finished() && dma.jobs_completed() >= 2; },
+        4'000'000'000ull);
+    cycles += soc.sim().now();
+    benchmark::DoNotOptimize(dma.jobs_completed());
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Fig5ContentionSystem)->Unit(benchmark::kMillisecond);
+
+// Observability cost pair: the same busy 2-port DMA system with no
+// observability objects at all vs. with an EventTrace attached-but-disabled
+// and every metric registered (but never sampled). The obs layer promises
+// one branch per record site when disabled, so these two must stay within
+// noise of each other (the CI smoke job asserts < 2%).
+void obs_cost_system(benchmark::State& state, bool attach_idle_obs) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+  std::vector<std::unique_ptr<DmaEngine>> dmas;
+  for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+    DmaConfig d;
+    d.mode = DmaMode::kReadWrite;
+    d.bytes_per_job = 1u << 20;
+    dmas.push_back(std::make_unique<DmaEngine>("dma" + std::to_string(p),
+                                               hc.port_link(p), d));
+    sim.add(*dmas.back());
+  }
+  EventTrace trace;  // default-disabled: record sites cost one branch
+  MetricsRegistry registry;
+  if (attach_idle_obs) {
+    hc.set_trace(&trace);
+    mem.set_trace(&trace);
+    hc.register_metrics(registry);
+    mem.register_metrics(registry);
+    for (auto& d : dmas) {
+      d->set_trace(&trace);
+      d->register_metrics(registry);
+    }
+  }
+  sim.reset();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_ObsOff(benchmark::State& state) { obs_cost_system(state, false); }
+BENCHMARK(BM_ObsOff);
+
+void BM_ObsIdleAttached(benchmark::State& state) {
+  obs_cost_system(state, true);
+}
+BENCHMARK(BM_ObsIdleAttached);
 
 void BM_DmaJobThroughHyperConnect(benchmark::State& state) {
   for (auto _ : state) {

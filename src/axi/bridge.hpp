@@ -19,6 +19,13 @@ class AxiBridge final : public Component {
   AxiBridge(std::string name, AxiLink& upstream, AxiLink& downstream);
 
   void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    if (up_.ar.can_pop() || up_.aw.can_pop() || up_.w.can_pop() ||
+        down_.r.can_pop() || down_.b.can_pop()) {
+      return now;
+    }
+    return kNoCycle;
+  }
 
  private:
   AxiLink& up_;

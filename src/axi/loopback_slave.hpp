@@ -24,6 +24,13 @@ class LoopbackSlave final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    if (link_.ar.can_pop() || link_.aw.can_pop() || link_.w.can_pop() ||
+        !reads_.empty() || !writes_.empty()) {
+      return now;
+    }
+    return kNoCycle;
+  }
 
   // Arrival timestamps, one entry per event, in order.
   std::vector<Cycle> ar_arrivals;

@@ -36,6 +36,20 @@ class AxiMonitor final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    // Traffic to forward this cycle?
+    if (up_.ar.can_pop() || up_.aw.can_pop() || up_.w.can_pop() ||
+        down_.r.can_pop() || down_.b.can_pop()) {
+      return now;
+    }
+    // The hang watchdog counts no-progress cycles while a direction owes
+    // data/responses — conservative while anything is outstanding.
+    if (!outstanding_reads_.empty() || !pending_w_.empty() ||
+        !awaiting_b_.empty()) {
+      return now;
+    }
+    return kNoCycle;
+  }
 
   /// If set, a violation throws ModelError instead of only being recorded.
   void set_throw_on_violation(bool on) { throw_on_violation_ = on; }

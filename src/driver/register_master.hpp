@@ -38,6 +38,9 @@ class RegisterMaster final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    return idle() ? kNoCycle : now;
+  }
 
  private:
   struct Op {

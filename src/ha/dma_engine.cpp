@@ -99,6 +99,27 @@ void DmaEngine::tick(Cycle now) {
   pump(now);
 }
 
+Cycle DmaEngine::next_activity(Cycle now) const {
+  if (!pump_idle()) return now;
+  if (armed_ && !finished()) {
+    if (tracing() && !job_slice_open_) return now;  // job slice opens next tick
+    if (read_stream_active() && read_issued_bytes_ < cfg_.bytes_per_job &&
+        can_issue_read()) {
+      return now;
+    }
+    if (write_stream_active() && write_issued_bytes_ < cfg_.bytes_per_job &&
+        can_issue_write()) {
+      if (cfg_.mode != DmaMode::kCopy) return now;
+      const BeatCount beats = beats_for(
+          cfg_.bytes_per_job - write_issued_bytes_, cfg_.burst_beats);
+      if (copy_buffer_.size() >= beats) return now;
+    }
+  }
+  // Blocked on backpressure or on responses: only another component's
+  // progress (a channel refilling/draining) can change that.
+  return kNoCycle;
+}
+
 void DmaEngine::on_read_beat(const RBeat& beat, Cycle) {
   if (cfg_.mode == DmaMode::kCopy) copy_buffer_.push_back(beat.data);
 }

@@ -47,6 +47,7 @@ class DmaEngine final : public AxiMasterBase, public ControllableHa {
   DmaEngine(std::string name, AxiLink& link, DmaConfig cfg = {});
 
   void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   /// ControllableHa: arms one job (externally_triggered mode).
   void start() override;

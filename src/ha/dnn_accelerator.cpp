@@ -105,7 +105,9 @@ void DnnAccelerator::start_layer() {
   phase_ = Phase::kLoad;
   load_total_ = layer.weight_bytes + layer.ifmap_bytes;
   load_issued_ = load_done_ = 0;
-  compute_left_ = (layer.macs + cfg_.macs_per_cycle - 1) / cfg_.macs_per_cycle;
+  compute_cycles_ =
+      (layer.macs + cfg_.macs_per_cycle - 1) / cfg_.macs_per_cycle;
+  compute_end_ = 0;
   store_total_ = layer.ofmap_bytes;
   store_issued_ = store_done_ = 0;
 }
@@ -143,13 +145,17 @@ void DnnAccelerator::tick(Cycle now) {
         issue_read(cfg_.weight_base + load_issued_, beats, now);
         load_issued_ += std::uint64_t{beats} * kBusBytes;
       }
-      if (load_done_ >= load_total_) phase_ = Phase::kCompute;
+      if (load_done_ >= load_total_) {
+        phase_ = Phase::kCompute;
+        // The naive countdown burned one tick per compute cycle starting
+        // next tick and transitioned on the tick after the last one; the
+        // deadline form lands on the identical cycle.
+        compute_end_ = now + compute_cycles_ + 1;
+      }
       break;
     }
     case Phase::kCompute: {
-      if (compute_left_ > 0) {
-        --compute_left_;
-      } else {
+      if (now >= compute_end_) {
         phase_ = store_total_ > 0 ? Phase::kStore : Phase::kDone;
         if (phase_ == Phase::kDone) advance_after_store(now);
       }
@@ -176,6 +182,28 @@ void DnnAccelerator::tick(Cycle now) {
   }
 
   pump(now);
+}
+
+Cycle DnnAccelerator::next_activity(Cycle now) const {
+  if (tracing() && traced_phase_ != phase_) return now;  // slice sync pending
+  if (!pump_idle()) return now;
+  switch (phase_) {
+    case Phase::kLoad:
+      if (load_issued_ < load_total_ && can_issue_read()) return now;
+      if (load_done_ >= load_total_) return now;  // phase transition pending
+      return kNoCycle;  // blocked on backpressure or outstanding reads
+    case Phase::kCompute:
+      // No bus activity until the array finishes; the transition tick is
+      // exactly compute_end_.
+      return compute_end_ > now ? compute_end_ : now;
+    case Phase::kStore:
+      if (store_issued_ < store_total_ && can_issue_write()) return now;
+      if (store_done_ >= store_total_) return now;  // phase transition pending
+      return kNoCycle;
+    case Phase::kDone:
+      return kNoCycle;  // only start()/reset can re-arm
+  }
+  return now;
 }
 
 void DnnAccelerator::on_read_complete(const AddrReq& req, Cycle) {

@@ -63,6 +63,7 @@ class DnnAccelerator final : public AxiMasterBase, public ControllableHa {
   DnnAccelerator(std::string name, AxiLink& link, DnnConfig cfg);
 
   void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   /// ControllableHa: runs one inference frame (externally_triggered mode).
   void start() override;
@@ -106,8 +107,11 @@ class DnnAccelerator final : public AxiMasterBase, public ControllableHa {
   std::uint64_t load_total_ = 0;
   std::uint64_t load_issued_ = 0;
   std::uint64_t load_done_ = 0;
-  // Compute phase.
-  Cycle compute_left_ = 0;
+  // Compute phase: duration (from the layer's MACs) and the deadline-form
+  // end cycle, so compute ticks are pure no-ops until the deadline (the
+  // fast path can skip them wholesale).
+  Cycle compute_cycles_ = 0;
+  Cycle compute_end_ = 0;
   // Store phase.
   std::uint64_t store_total_ = 0;
   std::uint64_t store_issued_ = 0;

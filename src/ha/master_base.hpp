@@ -102,6 +102,14 @@ class AxiMasterBase : public Component {
   /// once per tick, after deciding what to issue.
   void pump(Cycle now);
 
+  /// True when pump(now) would be a no-op this cycle: no W beat can move and
+  /// nothing is waiting on R or B. Subclasses use this in their
+  /// next_activity() certificates.
+  [[nodiscard]] bool pump_idle() const {
+    return (w_backlog_.empty() || !link_.w.can_push()) &&
+           !link_.r.can_pop() && !link_.b.can_pop();
+  }
+
   /// Hook: called for every read-data beat received.
   virtual void on_read_beat(const RBeat& beat, Cycle now);
 

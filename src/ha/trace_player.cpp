@@ -41,4 +41,15 @@ void TracePlayer::tick(Cycle now) {
   pump(now);
 }
 
+Cycle TracePlayer::next_activity(Cycle now) const {
+  if (!pump_idle()) return now;
+  if (next_ < trace_.size()) {
+    const TraceEntry& e = trace_[next_];
+    if (now < e.issue_at) return e.issue_at;  // next scheduled request
+    const bool can = e.is_write ? can_issue_write() : can_issue_read();
+    if (can) return now;
+  }
+  return kNoCycle;  // trace drained, or blocked on backpressure/responses
+}
+
 }  // namespace axihc

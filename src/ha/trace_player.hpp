@@ -21,6 +21,7 @@ class TracePlayer final : public AxiMasterBase {
               std::uint32_t max_outstanding = kDefaultMaxOutstanding);
 
   void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   [[nodiscard]] std::size_t issued() const { return next_; }
   [[nodiscard]] bool finished() const {

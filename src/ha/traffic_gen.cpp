@@ -19,7 +19,7 @@ TrafficGenerator::TrafficGenerator(std::string name, AxiLink& link,
 void TrafficGenerator::reset_master() {
   issued_ = 0;
   offset_ = 0;
-  gap_left_ = 0;
+  next_try_at_ = 0;
   next_is_write_ = false;
 }
 
@@ -38,9 +38,7 @@ void TrafficGenerator::tick(Cycle now) {
   const bool budget_left =
       cfg_.max_transactions == 0 || issued_ < cfg_.max_transactions;
 
-  if (gap_left_ > 0) {
-    --gap_left_;
-  } else if (budget_left) {
+  if (budget_left && now >= next_try_at_) {
     const bool want_write =
         cfg_.direction == TrafficDirection::kWrite ||
         (cfg_.direction == TrafficDirection::kMixed && next_is_write_);
@@ -64,7 +62,9 @@ void TrafficGenerator::tick(Cycle now) {
           cfg_.region_bytes) {
         offset_ = 0;
       }
-      gap_left_ = cfg_.gap_cycles;
+      // The countdown form idled ticks T+1..T+gap and issued at T+gap+1;
+      // the deadline form allows the same cycle.
+      next_try_at_ = now + cfg_.gap_cycles + 1;
       if (cfg_.direction == TrafficDirection::kMixed) {
         next_is_write_ = !next_is_write_;
       }
@@ -72,6 +72,20 @@ void TrafficGenerator::tick(Cycle now) {
   }
 
   pump(now);
+}
+
+Cycle TrafficGenerator::next_activity(Cycle now) const {
+  if (!pump_idle()) return now;
+  const bool budget_left =
+      cfg_.max_transactions == 0 || issued_ < cfg_.max_transactions;
+  if (budget_left) {
+    if (now < next_try_at_) return next_try_at_;  // waiting out the gap
+    const bool want_write =
+        cfg_.direction == TrafficDirection::kWrite ||
+        (cfg_.direction == TrafficDirection::kMixed && next_is_write_);
+    if (want_write ? can_issue_write() : can_issue_read()) return now;
+  }
+  return kNoCycle;  // budget spent, or blocked on backpressure/responses
 }
 
 }  // namespace axihc

@@ -36,6 +36,7 @@ class TrafficGenerator final : public AxiMasterBase {
   TrafficGenerator(std::string name, AxiLink& link, TrafficConfig cfg = {});
 
   void tick(Cycle now) override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   [[nodiscard]] const TrafficConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t transactions_issued() const { return issued_; }
@@ -57,7 +58,9 @@ class TrafficGenerator final : public AxiMasterBase {
   TrafficConfig cfg_;
   std::uint64_t issued_ = 0;
   Addr offset_ = 0;
-  Cycle gap_left_ = 0;
+  /// First cycle the next issue may be attempted (deadline form of the
+  /// inter-issue gap, so gap ticks are pure no-ops).
+  Cycle next_try_at_ = 0;
   bool next_is_write_ = false;  // kMixed alternation
 };
 

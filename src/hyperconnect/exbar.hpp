@@ -60,6 +60,9 @@ class Exbar {
   [[nodiscard]] RingBuffer<ExbarWriteRoute>& write_route() {
     return write_route_;
   }
+  [[nodiscard]] const RingBuffer<ExbarWriteRoute>& write_route() const {
+    return write_route_;
+  }
   [[nodiscard]] RingBuffer<PortIndex>& b_route() { return b_route_; }
 
   void reset();

@@ -436,6 +436,60 @@ void HyperConnect::tick_w_path() {
   if (sub_end) route.pop();
 }
 
+Cycle HyperConnect::next_activity(Cycle now) const {
+  // Control-interface traffic to serve.
+  if (control_link_.ar.can_pop() || control_link_.aw.can_pop() ||
+      control_link_.w.can_pop()) {
+    return now;
+  }
+  // Proactive data/response paths: returning R/B, or granted sub-writes
+  // still pulling W beats (the route entry drives the pull even when the
+  // port's W data has not arrived — that is exactly a PU stall observation).
+  if (master_link().r.can_pop() || master_link().b.can_pop()) return now;
+  if (!exbar_.write_route().empty()) return now;
+  // EXBAR output registers draining into the master eFIFO.
+  if (xbar_ar_.can_pop() || xbar_aw_.can_pop()) return now;
+
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    // Central-unit state sync pending (decouple/recouple or fault latch).
+    if (efifos_[i].coupled() != runtime_.coupled[i]) return now;
+    if (efifos_[i].faulted() != runtime_.fault[i].faulted) return now;
+    // A decoupled port grounds its signals continuously: queued traffic is
+    // still being flushed and a half-split burst aborted on the next tick.
+    if (!runtime_.coupled[i]) {
+      const AxiLink& link = port_link(i);
+      if (!link.ar.empty() || !link.aw.empty() || !link.w.empty() ||
+          !link.r.empty() || !link.b.empty() ||
+          ts_[i]->active_read_id().has_value() ||
+          ts_[i]->active_write_id().has_value()) {
+        return now;
+      }
+    }
+    // TS output stages feeding the EXBAR.
+    if (ts_ar_[i]->can_pop() || ts_aw_[i]->can_pop()) return now;
+    // Protection unit: in-flight records age and stall counters accumulate
+    // every cycle; conservative while anything is outstanding or suspected.
+    if (pu_[i]->oldest_issue().has_value() || pu_[i]->suspected()) return now;
+    if (ts_[i]->reads_outstanding() > 0 || ts_[i]->writes_outstanding() > 0) {
+      return now;
+    }
+    // Issue step could make progress (new request, or a split with budget).
+    if (ts_[i]->issue_pending(efifos_[i], *ts_ar_[i], *ts_aw_[i],
+                              budget_left_[i])) {
+      return now;
+    }
+  }
+
+  // Quiescent except for the central unit's synchronous recharge, which is
+  // observable (recharges_ counter, budget refill, trace instants) at every
+  // window boundary — and a budget-starved split resumes exactly there.
+  if (runtime_.reservation_period != 0) {
+    const Cycle p = runtime_.reservation_period;
+    return now % p == 0 ? now : (now / p + 1) * p;
+  }
+  return kNoCycle;
+}
+
 void HyperConnect::tick(Cycle now) {
   tick_control_interface();
   tick_central_unit(now);

@@ -37,6 +37,7 @@ class HyperConnect final : public Interconnect {
   void tick(Cycle now) override;
   void reset() override;
   void register_with(Simulator& sim) override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   /// The control AXI slave interface (AXI-Lite-style: single-beat
   /// transactions). In the considered framework only the hypervisor masters

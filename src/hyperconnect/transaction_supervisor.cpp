@@ -81,6 +81,25 @@ TransactionSupervisor::IssuedSub TransactionSupervisor::issue_sub(
   return {sp.orig.id, is_final};
 }
 
+bool TransactionSupervisor::issue_pending(
+    const Efifo& in, const TimingChannel<AddrReq>& ts_ar,
+    const TimingChannel<AddrReq>& ts_aw, std::uint32_t budget_left) const {
+  if (rt_.global_enable && !read_split_.active && in.ar_available()) {
+    return true;
+  }
+  if (rt_.global_enable && !write_split_.active && in.aw_available()) {
+    return true;
+  }
+  if (read_split_.active && may_issue(ts_ar, reads_outstanding_, budget_left)) {
+    return true;
+  }
+  if (write_split_.active &&
+      may_issue(ts_aw, writes_outstanding_, budget_left)) {
+    return true;
+  }
+  return false;
+}
+
 std::optional<TransactionSupervisor::IssuedSub>
 TransactionSupervisor::tick_read_issue(Efifo& in,
                                        TimingChannel<AddrReq>& ts_ar,

@@ -75,6 +75,15 @@ class TransactionSupervisor {
   /// responses of the merged transaction.
   [[nodiscard]] bool process_b(BResp& resp);
 
+  /// True if the next issue tick could make progress: a fresh HA request is
+  /// waiting in the eFIFO, or an in-progress split may issue its next
+  /// sub-request (stage headroom, outstanding slot and budget permitting).
+  /// Pure observation for the kernel's activity scheduling.
+  [[nodiscard]] bool issue_pending(const Efifo& in,
+                                   const TimingChannel<AddrReq>& ts_ar,
+                                   const TimingChannel<AddrReq>& ts_aw,
+                                   std::uint32_t budget_left) const;
+
   [[nodiscard]] std::uint32_t reads_outstanding() const {
     return reads_outstanding_;
   }

@@ -91,6 +91,13 @@ class Hypervisor final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    if (watchdog_.poll_period == 0) return kNoCycle;
+    // A poll in flight completes via driver/bus callbacks that this tick
+    // must observe; otherwise sleep until the next scheduled poll.
+    if (poll_in_flight_) return now;
+    return now < next_poll_ ? next_poll_ : now;
+  }
 
   /// Observability: watchdog isolations and observed faults become trace
   /// instants. nullptr (the default) disables the hooks.

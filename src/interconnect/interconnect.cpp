@@ -27,6 +27,11 @@ AxiLink& Interconnect::port_link(PortIndex i) {
   return *port_links_[i];
 }
 
+const AxiLink& Interconnect::port_link(PortIndex i) const {
+  AXIHC_CHECK(i < port_links_.size());
+  return *port_links_[i];
+}
+
 void Interconnect::register_with(Simulator& sim) {
   for (auto& link : port_links_) link->register_with(sim);
   master_link_->register_with(sim);

@@ -42,9 +42,11 @@ class Interconnect : public Component {
 
   /// The link a hardware accelerator's master port connects to.
   [[nodiscard]] AxiLink& port_link(PortIndex i);
+  [[nodiscard]] const AxiLink& port_link(PortIndex i) const;
 
   /// The link connected to the FPGA-PS interface (memory controller).
   [[nodiscard]] AxiLink& master_link() { return *master_link_; }
+  [[nodiscard]] const AxiLink& master_link() const { return *master_link_; }
 
   /// Registers every internal channel with the simulator. Subclasses extend
   /// it for their private pipeline channels.

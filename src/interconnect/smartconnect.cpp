@@ -1,5 +1,6 @@
 #include "interconnect/smartconnect.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -125,6 +126,33 @@ void SmartConnect::drain_pipes(Cycle now) {
       b_route_.pop();
     }
   }
+}
+
+Cycle SmartConnect::next_activity(Cycle now) const {
+  // Returning R/B to capture, or upstream requests/data to arbitrate/pull.
+  if (master_link().r.can_pop() || master_link().b.can_pop()) return now;
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    const AxiLink& link = port_link(i);
+    if (link.ar.can_pop() || link.aw.can_pop() || link.w.can_pop()) {
+      return now;
+    }
+  }
+  // Only pipeline stages remain: the next interesting cycle is the earliest
+  // ready_at among the pipe heads (earlier ticks cannot move anything — the
+  // world is frozen, so no new input appears and can_push headroom only
+  // matters once a head is ready).
+  Cycle next = kNoCycle;
+  auto consider = [&](const auto& pipe) {
+    if (pipe.empty()) return;
+    const Cycle at = pipe.front().ready_at;
+    next = std::min(next, at > now ? at : now);
+  };
+  consider(ar_pipe_);
+  consider(aw_pipe_);
+  consider(r_pipe_);
+  consider(w_pipe_);
+  consider(b_pipe_);
+  return next;
 }
 
 void SmartConnect::tick(Cycle now) {

@@ -51,6 +51,7 @@ class SmartConnect final : public Interconnect {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   [[nodiscard]] const SmartConnectConfig& config() const { return cfg_; }
 

@@ -47,6 +47,14 @@ class DualPortMemoryController final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    if (ps_link_.ar.can_pop() || ps_link_.aw.can_pop() ||
+        ps_link_.w.can_pop() || fpga_link_.ar.can_pop() ||
+        fpga_link_.aw.can_pop() || fpga_link_.w.can_pop()) {
+      return now;
+    }
+    return (busy_ || !queue_.empty()) ? now : kNoCycle;
+  }
 
   [[nodiscard]] std::uint64_t ps_transactions() const { return ps_served_; }
   [[nodiscard]] std::uint64_t fpga_transactions() const {

@@ -166,6 +166,23 @@ void MemoryController::start_next_command() {
   phase_ = Phase::kLatency;
 }
 
+Cycle MemoryController::next_activity(Cycle now) const {
+  // Pending input on any slave channel needs accepting/buffering.
+  if (link_.ar.can_pop() || link_.aw.can_pop() || link_.w.can_pop()) {
+    return now;
+  }
+  // Mid-transaction (or commands queued): every tick counts busy_cycles_
+  // and advances the phase machine — conservative through stall windows.
+  if (phase_ != Phase::kIdle || !queue_.empty()) return now;
+  // Fully idle. The only self-scheduled event is the refresh boundary,
+  // which closes all open rows even with no traffic.
+  if (cfg_.refresh_period != 0) {
+    const Cycle p = cfg_.refresh_period;
+    return now % p == 0 ? now : (now / p + 1) * p;
+  }
+  return kNoCycle;
+}
+
 void MemoryController::tick(Cycle now) {
   now_ = now;
   accept_new_requests();

@@ -83,6 +83,7 @@ class MemoryController final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   [[nodiscard]] std::uint64_t reads_served() const { return reads_served_; }
   [[nodiscard]] std::uint64_t writes_served() const { return writes_served_; }

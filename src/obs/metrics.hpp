@@ -85,6 +85,13 @@ class MetricsSampler final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    // Strictly clocked: only sample boundaries are observable. The sampled
+    // values are frozen along with the rest of the world between boundaries,
+    // so skipping the in-between cycles cannot change any snapshot.
+    const Cycle n = sample_every_;
+    return now % n == 0 ? now : (now / n + 1) * n;
+  }
 
   /// Takes one snapshot immediately (used by tick, and by end-of-run
   /// finalization so the last partial window is never lost).

@@ -80,4 +80,16 @@ void HaControlSlave::tick(Cycle now) {
   }
 }
 
+Cycle HaControlSlave::next_activity(Cycle now) const {
+  // A busy-state edge must be latched (and the IRQ raised) on the next tick.
+  if (was_busy_ != ha_.busy()) return now;
+  // Any pending register access needs service. Conservative: a write also
+  // needs W and B headroom, but a stuck peer keeps those channels stable, so
+  // `now` is only ever over-eager, never late.
+  if (link_.aw.can_pop() || link_.w.can_pop() || link_.ar.can_pop()) {
+    return now;
+  }
+  return kNoCycle;
+}
+
 }  // namespace axihc

@@ -39,6 +39,7 @@ class HaControlSlave final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_; }
 

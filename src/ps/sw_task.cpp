@@ -14,7 +14,7 @@ SwTask::SwTask(std::string name, AxiLink& control_link,
 
 void SwTask::reset() {
   state_ = State::kStart;
-  wait_left_ = 0;
+  resume_at_ = 0;
   request_started_ = 0;
   irq_seen_ = 0;
   next_id_ = 1;
@@ -25,10 +25,7 @@ void SwTask::reset() {
 void SwTask::tick(Cycle now) {
   switch (state_) {
     case State::kThink:
-      if (wait_left_ > 0) {
-        --wait_left_;
-        break;
-      }
+      if (now < resume_at_) break;
       state_ = State::kStart;
       [[fallthrough]];
 
@@ -57,22 +54,37 @@ void SwTask::tick(Cycle now) {
       if (!irq_.pending(cfg_.irq_line)) break;
       irq_.ack(cfg_.irq_line);
       irq_seen_ = now;
-      // Model interrupt delivery latency before software observes it.
-      wait_left_ = cfg_.irq_latency;
+      // Model interrupt delivery latency before software observes it. The
+      // countdown form burned ticks now+1..now+latency and acted on the
+      // next; the deadline lands on the identical cycle.
+      resume_at_ = now + cfg_.irq_latency + 1;
       state_ = State::kAckIrq;
       break;
 
     case State::kAckIrq:
-      if (wait_left_ > 0) {
-        --wait_left_;
-        break;
-      }
+      if (now < resume_at_) break;
       response_times_.record(now - request_started_);
       ++done_;
-      wait_left_ = cfg_.think_cycles;
+      resume_at_ = now + cfg_.think_cycles + 1;
       state_ = State::kThink;
       break;
   }
+}
+
+Cycle SwTask::next_activity(Cycle now) const {
+  switch (state_) {
+    case State::kThink:
+    case State::kAckIrq:
+      return now < resume_at_ ? resume_at_ : now;
+    case State::kStart:
+      if (finished()) return kNoCycle;
+      return (link_.aw.can_push() && link_.w.can_push()) ? now : kNoCycle;
+    case State::kAwaitStartAck:
+      return link_.b.can_pop() ? now : kNoCycle;
+    case State::kAwaitIrq:
+      return irq_.pending(cfg_.irq_line) ? now : kNoCycle;
+  }
+  return now;
 }
 
 }  // namespace axihc

@@ -40,6 +40,7 @@ class SwTask final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override;
 
   [[nodiscard]] std::uint64_t requests_completed() const { return done_; }
   [[nodiscard]] const LatencyStats& response_times() const {
@@ -57,7 +58,9 @@ class SwTask final : public Component {
   SwTaskConfig cfg_;
 
   State state_ = State::kStart;
-  Cycle wait_left_ = 0;
+  /// First cycle the current wait (IRQ latency / think time) is over —
+  /// deadline form, so waiting ticks are pure no-ops.
+  Cycle resume_at_ = 0;
   Cycle request_started_ = 0;
   Cycle irq_seen_ = 0;
   TxnId next_id_ = 1;

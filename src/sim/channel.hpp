@@ -13,10 +13,22 @@
 //    simulation independent of component tick order: runs are
 //    bit-deterministic by construction and there are no combinational loops.
 //  * `pop` consumes elements committed in earlier cycles.
+//
+// Storage is a single fixed-capacity ring allocated once at construction:
+// committed and staged elements share the ring (committed at the head,
+// staged behind them), so push/pop/commit never touch the heap. One ring of
+// `capacity` slots always suffices because committed + staged <= capacity is
+// an invariant: can_push requires snapshot + staged < capacity, committed
+// can only shrink within a cycle, and commit sets the new committed count to
+// committed + staged <= snapshot + (capacity - snapshot) = capacity.
+//
+// Channels also self-report to their Simulator's dirty list: any push, pop
+// or flush marks the channel dirty, and only dirty channels are committed at
+// the end of a cycle (quiet channels need neither data movement nor a new
+// snapshot). Standalone channels (no Simulator) just keep the flag locally.
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,8 +54,26 @@ class ChannelBase {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
+ protected:
+  /// Enqueues this channel on its Simulator's end-of-cycle commit list (once
+  /// per cycle). Called on any state change that a commit must observe:
+  /// push (staged data), pop and flush (the next snapshot changes).
+  void mark_dirty() {
+    if (!dirty_) {
+      dirty_ = true;
+      if (dirty_list_ != nullptr) dirty_list_->push_back(this);
+    }
+  }
+
+  /// commit() implementations call this so a later change re-enqueues.
+  void clear_dirty() { dirty_ = false; }
+
  private:
+  friend class Simulator;
+
   std::string name_;
+  std::vector<ChannelBase*>* dirty_list_ = nullptr;  // owned by the Simulator
+  bool dirty_ = false;
 };
 
 template <typename T>
@@ -52,44 +82,48 @@ class TimingChannel final : public ChannelBase {
   /// A channel with `capacity` storage slots (the register/FIFO depth of the
   /// link). Capacity 1 models a plain pipeline register.
   TimingChannel(std::string name, std::size_t capacity)
-      : ChannelBase(std::move(name)), capacity_(capacity) {
+      : ChannelBase(std::move(name)), capacity_(capacity), slots_(capacity) {
     AXIHC_CHECK(capacity_ > 0);
   }
 
   /// True if the producer may push this cycle (backpressure check).
   [[nodiscard]] bool can_push() const {
-    return occupancy_at_cycle_start_ + staged_.size() < capacity_;
+    return snapshot_ + staged_ < capacity_;
   }
 
   /// Stages `value` for delivery next cycle. Requires can_push().
   void push(T value) {
     AXIHC_CHECK_MSG(can_push(), "push on full channel '" << name() << "'");
-    staged_.push_back(std::move(value));
+    slots_[wrap(head_ + committed_ + staged_)] = std::move(value);
+    ++staged_;
     ++total_pushes_;
+    mark_dirty();
   }
 
   /// True if the consumer can pop a (previously committed) element.
-  [[nodiscard]] bool can_pop() const { return !committed_.empty(); }
+  [[nodiscard]] bool can_pop() const { return committed_ != 0; }
 
-  [[nodiscard]] bool empty() const { return committed_.empty(); }
+  [[nodiscard]] bool empty() const { return committed_ == 0; }
 
   /// Oldest committed element. Requires can_pop().
   [[nodiscard]] const T& front() const {
     AXIHC_CHECK_MSG(can_pop(), "front on empty channel '" << name() << "'");
-    return committed_.front();
+    return slots_[head_];
   }
 
   /// Removes and returns the oldest committed element. Requires can_pop().
   T pop() {
     AXIHC_CHECK_MSG(can_pop(), "pop on empty channel '" << name() << "'");
-    T value = std::move(committed_.front());
-    committed_.pop_front();
+    T value = std::move(slots_[head_]);
+    head_ = wrap(head_ + 1);
+    --committed_;
     ++total_pops_;
+    mark_dirty();  // the next cycle's occupancy snapshot must drop
     return value;
   }
 
   /// Committed elements currently queued (in-flight occupancy).
-  [[nodiscard]] std::size_t size() const { return committed_.size(); }
+  [[nodiscard]] std::size_t size() const { return committed_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Lifetime traffic counters (used by throughput probes).
@@ -97,9 +131,10 @@ class TimingChannel final : public ChannelBase {
   [[nodiscard]] std::uint64_t total_pops() const { return total_pops_; }
 
   void commit() override {
-    for (auto& v : staged_) committed_.push_back(std::move(v));
-    staged_.clear();
-    occupancy_at_cycle_start_ = committed_.size();
+    committed_ += staged_;
+    staged_ = 0;
+    snapshot_ = committed_;
+    clear_dirty();
   }
 
   void reset() override {
@@ -110,17 +145,29 @@ class TimingChannel final : public ChannelBase {
 
   /// Drops all queued and staged elements but keeps the traffic counters
   /// (used for port flushes, e.g. eFIFO decoupling, not full resets).
+  /// A no-op on an already-empty channel, so continuous flushing (a
+  /// decoupled port) does not keep marking the channel dirty.
   void clear_contents() {
-    committed_.clear();
-    staged_.clear();
-    occupancy_at_cycle_start_ = 0;
+    if (committed_ == 0 && staged_ == 0 && snapshot_ == 0) return;
+    head_ = 0;
+    committed_ = 0;
+    staged_ = 0;
+    snapshot_ = 0;
+    mark_dirty();
   }
 
  private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const {
+    // Capacities are arbitrary (not power-of-two); a compare beats div.
+    return i >= capacity_ ? i - capacity_ : i;
+  }
+
   std::size_t capacity_;
-  std::deque<T> committed_;
-  std::vector<T> staged_;
-  std::size_t occupancy_at_cycle_start_ = 0;
+  std::vector<T> slots_;          // fixed ring: [head_, +committed_) visible,
+  std::size_t head_ = 0;          // then [.., +staged_) pending commit
+  std::size_t committed_ = 0;
+  std::size_t staged_ = 0;
+  std::size_t snapshot_ = 0;      // occupancy at cycle start
   std::uint64_t total_pushes_ = 0;
   std::uint64_t total_pops_ = 0;
 };

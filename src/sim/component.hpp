@@ -24,6 +24,19 @@ class Component {
   /// Hardware reset. Default: stateless.
   virtual void reset() {}
 
+  /// Fast-forward hook: the earliest cycle >= `now` at which tick() might do
+  /// observable work, under the assumption that NO component (including this
+  /// one) ticks in the interim — i.e. the whole system stays frozen. Return
+  /// `now` when active or unsure (always safe), a future cycle when the next
+  /// interesting moment is self-scheduled (a deadline, a period boundary),
+  /// or kNoCycle when only external stimulus could wake this component.
+  ///
+  /// The kernel skips cycle N only when EVERY component reports
+  /// next_activity(N) > N, so implementations may rely on all other
+  /// components' state being unchanged across the skipped stretch. Must not
+  /// mutate any state (it runs on cycles that are then skipped).
+  [[nodiscard]] virtual Cycle next_activity(Cycle now) const { return now; }
+
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:

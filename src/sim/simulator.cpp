@@ -4,24 +4,60 @@ namespace axihc {
 
 void Simulator::add(Component& component) { components_.push_back(&component); }
 
-void Simulator::add(ChannelBase& channel) { channels_.push_back(&channel); }
+void Simulator::add(ChannelBase& channel) {
+  channels_.push_back(&channel);
+  channel.dirty_list_ = &dirty_;
+  // A channel touched before registration (pushes staged during setup) must
+  // still be committed at the end of the first cycle.
+  if (channel.dirty_) dirty_.push_back(&channel);
+}
 
 void Simulator::reset() {
   for (auto* c : components_) c->reset();
   for (auto* ch : channels_) ch->reset();
   // Commit once so occupancy snapshots start from the empty state.
   for (auto* ch : channels_) ch->commit();
+  dirty_.clear();
+  last_step_quiet_ = true;
   now_ = 0;
 }
 
 void Simulator::step() {
   for (auto* c : components_) c->tick(now_);
-  for (auto* ch : channels_) ch->commit();
+  // Quiet cycles (no push/pop/flush anywhere) are the precondition for even
+  // attempting a fast-forward next cycle: busy fabrics touch channels nearly
+  // every cycle, so this keeps the next_activity scan off the hot path.
+  last_step_quiet_ = dirty_.empty();
+  for (auto* ch : dirty_) ch->commit();
+  dirty_.clear();
   ++now_;
 }
 
+void Simulator::advance(Cycle deadline) {
+  // Jump only from a provably frozen state: the last cycle moved no data
+  // (so no commit is pending a snapshot change) and nothing was staged
+  // outside a tick since then.
+  if (fast_forward_ && last_step_quiet_ && dirty_.empty()) {
+    Cycle target = deadline;
+    for (const auto* c : components_) {
+      const Cycle na = c->next_activity(now_);
+      if (na <= now_) {
+        target = now_;
+        break;
+      }
+      if (na < target) target = na;
+    }
+    // Every skipped cycle [now_, target) would have been a full-system
+    // no-op: no ticks run, so the certificates stay valid by induction.
+    now_ = target;
+    if (now_ >= deadline) return;
+  }
+  step();
+}
+
 void Simulator::run(Cycle cycles) {
-  for (Cycle i = 0; i < cycles; ++i) step();
+  const Cycle deadline = now_ + cycles;
+  while (now_ < deadline) advance(deadline);
 }
 
 }  // namespace axihc

@@ -1,4 +1,6 @@
-// Cycle-stepped simulator: ticks every component, then commits every channel.
+// Cycle-stepped simulator: ticks every component, then commits every dirty
+// channel. A fast-forward pass skips provably quiescent stretches — see
+// docs/ARCHITECTURE.md ("The kernel fast path") for the safety argument.
 #pragma once
 
 #include <cstdint>
@@ -23,29 +25,48 @@ class Simulator {
   /// Resets all components and channels and rewinds time to zero.
   void reset();
 
-  /// Advances the simulation by one clock cycle.
+  /// Advances the simulation by exactly one clock cycle (never skips).
   void step();
 
-  /// Advances by `cycles` clock cycles.
+  /// Advances by `cycles` clock cycles (may fast-forward internally).
   void run(Cycle cycles);
 
   /// Steps until `done()` returns true or `max_cycles` elapse.
   /// Returns true if the predicate fired (i.e. the run did not time out).
+  ///
+  /// Fast-forward note: predicates read simulation state, and state is by
+  /// construction frozen across a skipped stretch, so `done()` cannot change
+  /// inside one — checking it once per advance is exact.
   template <typename Pred>
   bool run_until(Pred done, Cycle max_cycles) {
-    for (Cycle i = 0; i < max_cycles; ++i) {
+    const Cycle deadline = now_ + max_cycles;
+    while (now_ < deadline) {
       if (done()) return true;
-      step();
+      advance(deadline);
     }
     return done();
   }
 
+  /// Enables/disables the quiescence fast-forward (on by default). The
+  /// forced naive mode exists for determinism regression tests and for
+  /// `--no-fast-forward` debugging; results are bit-identical either way.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+  [[nodiscard]] bool fast_forward() const { return fast_forward_; }
+
   [[nodiscard]] Cycle now() const { return now_; }
 
  private:
+  /// One step toward `deadline`: first jumps `now_` across a quiescent
+  /// stretch when every component certifies one, then steps one cycle
+  /// (unless the jump already reached the deadline).
+  void advance(Cycle deadline);
+
   std::vector<Component*> components_;
-  std::vector<ChannelBase*> channels_;
+  std::vector<ChannelBase*> channels_;   // all channels, for reset()
+  std::vector<ChannelBase*> dirty_;      // channels to commit this cycle
   Cycle now_ = 0;
+  bool fast_forward_ = true;
+  bool last_step_quiet_ = true;  // no channel was touched last cycle
 };
 
 }  // namespace axihc

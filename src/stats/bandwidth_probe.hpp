@@ -25,6 +25,17 @@ class BandwidthProbe final : public Component {
 
   void tick(Cycle now) override;
   void reset() override;
+  [[nodiscard]] Cycle next_activity(Cycle now) const override {
+    // New pushes since the last tick must be accumulated into the current
+    // window. During a frozen stretch the traffic counters cannot change,
+    // so only the window boundary itself needs a tick (it closes the window
+    // and appends to the series — observable state).
+    if (link_.r.total_pushes() != last_r_pushes_ ||
+        link_.w.total_pushes() != last_w_pushes_) {
+      return now;
+    }
+    return window_end_ > now ? window_end_ : now;
+  }
 
   /// Closed windows so far: bytes moved per window, per direction.
   [[nodiscard]] const std::vector<std::uint64_t>& read_window_bytes() const {

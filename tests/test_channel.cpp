@@ -96,6 +96,65 @@ TEST(TimingChannel, ResetDropsEverything) {
   EXPECT_EQ(ch.total_pushes(), 0u);
 }
 
+TEST(TimingChannel, ClearContentsDropsQueuedAndStaged) {
+  TimingChannel<int> ch("ch", 4);
+  ch.commit();
+  ch.push(1);
+  ch.push(2);
+  ch.commit();
+  ch.push(3);  // staged
+  ch.clear_contents();
+  EXPECT_FALSE(ch.can_pop());
+  EXPECT_EQ(ch.size(), 0u);
+  ch.commit();
+  EXPECT_FALSE(ch.can_pop()) << "staged element survived the flush";
+  EXPECT_TRUE(ch.can_push());
+}
+
+TEST(TimingChannel, ClearContentsKeepsTrafficCountersResetZeroesThem) {
+  // A flush (eFIFO decoupling) drops the payloads but the port's lifetime
+  // traffic counters keep counting; only a hardware reset zeroes them.
+  TimingChannel<int> ch("ch", 4);
+  ch.commit();
+  ch.push(1);
+  ch.push(2);
+  ch.commit();
+  ch.pop();
+  ch.clear_contents();
+  EXPECT_EQ(ch.total_pushes(), 2u);
+  EXPECT_EQ(ch.total_pops(), 1u);
+
+  // The flushed channel is immediately usable with full capacity.
+  ch.commit();
+  ch.push(5);
+  ch.commit();
+  EXPECT_EQ(ch.pop(), 5);
+  EXPECT_EQ(ch.total_pushes(), 3u);
+  EXPECT_EQ(ch.total_pops(), 2u);
+
+  ch.reset();
+  EXPECT_EQ(ch.total_pushes(), 0u);
+  EXPECT_EQ(ch.total_pops(), 0u);
+  EXPECT_FALSE(ch.can_pop());
+}
+
+TEST(TimingChannel, ClearContentsRestoresPushHeadroomImmediately) {
+  // Unlike a pop (whose freed slot only shows after the commit boundary),
+  // a flush grounds the whole port: the occupancy snapshot is flushed with
+  // the contents, so producers see full headroom in the same cycle.
+  TimingChannel<int> ch("ch", 2);
+  ch.commit();
+  ch.push(1);
+  ch.push(2);
+  ch.commit();
+  EXPECT_FALSE(ch.can_push());
+  ch.clear_contents();
+  EXPECT_TRUE(ch.can_push());
+  ch.push(9);
+  ch.commit();
+  EXPECT_EQ(ch.pop(), 9);
+}
+
 TEST(TimingChannel, ThroughputFullRateNeedsDepthTwo) {
   // Because readiness is snapshotted at cycle start (registered-ready, as in
   // a hardware register slice), a depth-1 channel alternates push/pop and

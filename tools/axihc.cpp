@@ -1,7 +1,7 @@
 // axihc — run an interconnect experiment from an INI description.
 //
 //   axihc <config.ini> [--cycles N] [--trace-out f.json]
-//         [--metrics-out f.csv] [--sample-every N]
+//         [--metrics-out f.csv] [--sample-every N] [--no-fast-forward]
 //   axihc --example            # print a ready-to-edit sample config
 //
 // See src/config/system_builder.hpp for the full config reference.
@@ -50,6 +50,7 @@ trace_capacity = 0            ; max retained events; 0 = unbounded
 void usage() {
   std::cerr << "usage: axihc <config.ini> [--cycles N] [--trace-out f.json]\n"
                "             [--metrics-out f.csv] [--sample-every N]\n"
+               "             [--no-fast-forward]\n"
                "       axihc --example > experiment.ini\n";
 }
 
@@ -69,15 +70,19 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   axihc::Cycle sample_every = 0;  // 0 = keep the config's value
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--cycles") == 0) {
-      override_cycles = std::strtoull(argv[i + 1], nullptr, 0);
-    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
-      trace_out = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
-      metrics_out = argv[i + 1];
-    } else if (std::strcmp(argv[i], "--sample-every") == 0) {
-      sample_every = std::strtoull(argv[i + 1], nullptr, 0);
+  bool fast_forward = true;
+  for (int i = 2; i < argc; ++i) {
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(argv[i], "--cycles") == 0 && has_value) {
+      override_cycles = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && has_value) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && has_value) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-every") == 0 && has_value) {
+      sample_every = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--no-fast-forward") == 0) {
+      fast_forward = false;
     }
   }
 
@@ -97,6 +102,9 @@ int main(int argc, char** argv) {
     if (!trace_out.empty()) obs.trace = true;
     if (!metrics_out.empty()) obs.metrics = true;
     if (sample_every != 0) obs.sample_every = sample_every;
+    // Kernel fast-forward is on by default and bit-exact; --no-fast-forward
+    // forces the naive one-tick-per-cycle loop (kernel debugging aid).
+    system->soc().sim().set_fast_forward(fast_forward);
 
     system->run(override_cycles);
     std::cout << system->report();
