@@ -22,6 +22,7 @@
 
 #include "ha/dma_engine.hpp"
 #include "ha/dnn_accelerator.hpp"
+#include "sim/worker_pool.hpp"
 #include "soc/soc.hpp"
 #include "stats/stats.hpp"
 #include "stats/table.hpp"
@@ -112,11 +113,16 @@ inline unsigned bench_threads() {
   return hw > 0 ? hw : 1;
 }
 
-/// Runs independent scenario jobs across a thread pool and returns their
-/// results in job order (the printed sweep is identical to a serial run).
-/// Each job must own its entire simulation (Simulator, SocSystem, HAs,
+/// Runs independent scenario jobs across the shared worker pool and returns
+/// their results in job order (the printed sweep is identical to a serial
+/// run). Each job must own its entire simulation (Simulator, SocSystem, HAs,
 /// stores) — simulations share no mutable state, which is what makes the
 /// sweep embarrassingly parallel AND deterministic per job.
+///
+/// Sweeps and the island tick engine draw from the SAME pool
+/// (sim/worker_pool.hpp): a simulation running set_threads(n) inside a
+/// sweep job executes its islands inline instead of oversubscribing, so
+/// total parallelism is capped by one pool either way.
 template <typename Result>
 std::vector<Result> run_parallel(std::vector<std::function<Result()>> jobs) {
   std::vector<Result> results(jobs.size());
@@ -128,16 +134,12 @@ std::vector<Result> run_parallel(std::vector<std::function<Result()>> jobs) {
     return results;
   }
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  WorkerPool::shared().run_tasks(threads, [&](unsigned) {
     for (std::size_t i = next.fetch_add(1); i < jobs.size();
          i = next.fetch_add(1)) {
       results[i] = jobs[i]();
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  });
   return results;
 }
 

@@ -155,6 +155,84 @@ void BM_ObsIdleAttached(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsIdleAttached);
 
+// Parallel tick engine scaling: a widened fig5-class topology — several
+// independent HC+DDR+DMA subsystems in one Simulator — so the island
+// partitioner finds one island per subsystem and the compute phase can fan
+// out. Arg 0 runs the serial kernel (set_parallel_tick(false)) as the
+// baseline; Arg 1 configures the engine with one thread, which resolves to
+// the serial kernel (the zero-overhead-by-construction case CI asserts);
+// Args 2/4 dispatch across the worker pool. Bit-identity is spot-checked
+// once before any timing: the engine must land on the same state digest as
+// the serial kernel or the numbers are meaningless.
+struct ParallelTickSystem {
+  Simulator sim;
+  std::vector<std::unique_ptr<BackingStore>> stores;
+  std::vector<std::unique_ptr<HyperConnect>> hcs;
+  std::vector<std::unique_ptr<MemoryController>> mems;
+  std::vector<std::unique_ptr<DmaEngine>> dmas;
+
+  explicit ParallelTickSystem(std::uint32_t subsystems) {
+    for (std::uint32_t s = 0; s < subsystems; ++s) {
+      HyperConnectConfig cfg;
+      cfg.num_ports = 2;
+      hcs.push_back(
+          std::make_unique<HyperConnect>("hc" + std::to_string(s), cfg));
+      stores.push_back(std::make_unique<BackingStore>());
+      mems.push_back(std::make_unique<MemoryController>(
+          "ddr" + std::to_string(s), hcs.back()->master_link(),
+          *stores.back(), MemoryControllerConfig{}));
+      hcs.back()->register_with(sim);
+      sim.add(*mems.back());
+      for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+        DmaConfig d;
+        d.mode = DmaMode::kReadWrite;
+        d.bytes_per_job = 1u << 20;
+        dmas.push_back(std::make_unique<DmaEngine>(
+            "dma" + std::to_string(s) + "_" + std::to_string(p),
+            hcs.back()->port_link(p), d));
+        sim.add(*dmas.back());
+      }
+    }
+  }
+};
+
+bool parallel_tick_digest_matches_serial() {
+  ParallelTickSystem serial(8);
+  ParallelTickSystem engine(8);
+  serial.sim.set_parallel_tick(false);
+  engine.sim.set_threads(2);
+  serial.sim.reset();
+  engine.sim.reset();
+  for (int i = 0; i < 10'000; ++i) {
+    serial.sim.step();
+    engine.sim.step();
+  }
+  return serial.sim.state_digest() == engine.sim.state_digest();
+}
+
+void BM_ParallelTick(benchmark::State& state) {
+  static const bool digest_ok = parallel_tick_digest_matches_serial();
+  if (!digest_ok) {
+    state.SkipWithError("engine digest diverged from serial kernel");
+    return;
+  }
+  ParallelTickSystem system(8);
+  const long threads = state.range(0);
+  if (threads == 0) {
+    system.sim.set_parallel_tick(false);  // serial-kernel baseline
+  } else {
+    system.sim.set_threads(static_cast<unsigned>(threads));
+  }
+  system.sim.reset();
+  for (auto _ : state) system.sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["islands"] =
+      static_cast<double>(system.sim.island_count());
+}
+BENCHMARK(BM_ParallelTick)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_DmaJobThroughHyperConnect(benchmark::State& state) {
   for (auto _ : state) {
     Simulator sim;

@@ -82,6 +82,38 @@ struct BResp {
   Resp resp = Resp::kOkay;
 };
 
+/// State-digest folds for the channel payloads (field-wise, never raw struct
+/// bytes — padding is indeterminate). Found by ADL from
+/// TimingChannel::append_digest.
+inline void append_digest(StateDigest& d, const AddrReq& req) {
+  d.mix(req.id);
+  d.mix(req.addr);
+  d.mix(req.beats);
+  d.mix(static_cast<std::uint64_t>(req.size_log2) |
+        (static_cast<std::uint64_t>(req.burst) << 8) |
+        (static_cast<std::uint64_t>(req.qos) << 16));
+  d.mix(static_cast<std::uint64_t>(req.issued_at));
+  d.mix(req.tag);
+}
+
+inline void append_digest(StateDigest& d, const RBeat& beat) {
+  d.mix(beat.id);
+  d.mix(beat.data);
+  d.mix(static_cast<std::uint64_t>(beat.last) |
+        (static_cast<std::uint64_t>(beat.resp) << 8));
+}
+
+inline void append_digest(StateDigest& d, const WBeat& beat) {
+  d.mix(beat.data);
+  d.mix(static_cast<std::uint64_t>(beat.strb) |
+        (static_cast<std::uint64_t>(beat.last) << 8));
+}
+
+inline void append_digest(StateDigest& d, const BResp& resp) {
+  d.mix(resp.id);
+  d.mix(static_cast<std::uint64_t>(resp.resp));
+}
+
 /// Total bytes transferred by a burst.
 [[nodiscard]] std::uint64_t burst_bytes(const AddrReq& req);
 
@@ -108,6 +140,11 @@ class AxiLink {
 
   /// Registers all five channels with `sim` for end-of-cycle commit.
   void register_with(Simulator& sim);
+
+  /// Declares `component` as an endpoint of all five channels (island
+  /// discovery; see ChannelBase::add_endpoint). Masters and slaves call this
+  /// from their constructors.
+  void attach_endpoint(const Component& component);
 
   [[nodiscard]] const std::string& name() const { return name_; }
 

@@ -5,7 +5,10 @@
 namespace axihc {
 
 AxiBridge::AxiBridge(std::string name, AxiLink& upstream, AxiLink& downstream)
-    : Component(std::move(name)), up_(upstream), down_(downstream) {}
+    : Component(std::move(name)), up_(upstream), down_(downstream) {
+  up_.attach_endpoint(*this);
+  down_.attach_endpoint(*this);
+}
 
 void AxiBridge::tick(Cycle) {
   if (up_.ar.can_pop() && down_.ar.can_push()) down_.ar.push(up_.ar.pop());

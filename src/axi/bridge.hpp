@@ -27,6 +27,11 @@ class AxiBridge final : public Component {
     return kNoCycle;
   }
 
+  /// Channel-pure: moves beats between its two links only.
+  [[nodiscard]] TickScope tick_scope() const override {
+    return TickScope::kIsland;
+  }
+
  private:
   AxiLink& up_;
   AxiLink& down_;

@@ -7,7 +7,9 @@
 namespace axihc {
 
 LoopbackSlave::LoopbackSlave(std::string name, AxiLink& link)
-    : Component(std::move(name)), link_(link) {}
+    : Component(std::move(name)), link_(link) {
+  link_.attach_endpoint(*this);
+}
 
 void LoopbackSlave::reset() {
   ar_arrivals.clear();

@@ -7,7 +7,9 @@
 namespace axihc {
 
 RegisterMaster::RegisterMaster(std::string name, AxiLink& control_link)
-    : Component(std::move(name)), link_(control_link) {}
+    : Component(std::move(name)), link_(control_link) {
+  link_.attach_endpoint(*this);
+}
 
 void RegisterMaster::reset() {
   queue_.clear();

@@ -42,6 +42,22 @@ class RegisterMaster final : public Component {
     return idle() ? kNoCycle : now;
   }
 
+  /// Channel-pure: drives only its control link. Read callbacks run inside
+  /// tick but mutate driver-side software state, which only serial-scope
+  /// components (Hypervisor, SW tasks) read — so those readers, not this
+  /// master, serialize the system when both are present.
+  [[nodiscard]] TickScope tick_scope() const override {
+    return TickScope::kIsland;
+  }
+
+  void append_digest(StateDigest& d) const override {
+    d.mix(completed_);
+    d.mix(static_cast<std::uint64_t>(queue_.size()));
+    d.mix(static_cast<std::uint64_t>(awaiting_b_) |
+          (static_cast<std::uint64_t>(awaiting_r_) << 1));
+    d.mix(static_cast<std::uint64_t>(next_id_));
+  }
+
  private:
   struct Op {
     bool is_write = false;

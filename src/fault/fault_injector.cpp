@@ -19,6 +19,22 @@ FaultInjector::FaultInjector(std::string name, AxiLink& ha_side,
   for (const FaultSpec& f : scenario.faults) {
     if (f.port == port_) faults_.push_back(f);
   }
+  ha_.attach_endpoint(*this);
+  bus_.attach_endpoint(*this);
+}
+
+void FaultInjector::append_digest(StateDigest& d) const {
+  d.mix(stats_.ar_stalled);
+  d.mix(stats_.aw_stalled);
+  d.mix(stats_.w_stalled);
+  d.mix(stats_.r_stalled);
+  d.mix(stats_.b_stalled);
+  d.mix(stats_.w_dropped);
+  d.mix(stats_.w_delay_cycles);
+  d.mix(stats_.bursts_truncated);
+  d.mix(stats_.lens_corrupted);
+  d.mix(static_cast<std::uint64_t>(w_bursts_.size()));
+  d.mix(static_cast<std::uint64_t>(w_hold_left_));
 }
 
 void FaultInjector::reset() {

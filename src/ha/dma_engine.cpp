@@ -44,6 +44,17 @@ void DmaEngine::reset_master() {
   copy_buffer_.clear();
 }
 
+void DmaEngine::append_digest(StateDigest& d) const {
+  AxiMasterBase::append_digest(d);
+  d.mix(jobs_done_);
+  d.mix(read_issued_bytes_);
+  d.mix(read_done_bytes_);
+  d.mix(write_issued_bytes_);
+  d.mix(write_done_bytes_);
+  d.mix(static_cast<std::uint64_t>(armed_));
+  for (Cycle c : job_done_cycles_) d.mix(static_cast<std::uint64_t>(c));
+}
+
 void DmaEngine::register_metrics(MetricsRegistry& reg) {
   AxiMasterBase::register_metrics(reg);
   reg.add_counter(name() + ".jobs_done", &jobs_done_);

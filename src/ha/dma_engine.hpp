@@ -71,6 +71,8 @@ class DmaEngine final : public AxiMasterBase, public ControllableHa {
   /// Base metrics plus the job counter.
   void register_metrics(MetricsRegistry& reg) override;
 
+  void append_digest(StateDigest& d) const override;
+
  private:
   void on_read_beat(const RBeat& beat, Cycle now) override;
   void on_read_complete(const AddrReq& req, Cycle now) override;

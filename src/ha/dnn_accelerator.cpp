@@ -112,6 +112,17 @@ void DnnAccelerator::start_layer() {
   store_issued_ = store_done_ = 0;
 }
 
+void DnnAccelerator::append_digest(StateDigest& d) const {
+  AxiMasterBase::append_digest(d);
+  d.mix(frames_);
+  d.mix(static_cast<std::uint64_t>(layer_idx_));
+  d.mix(static_cast<std::uint64_t>(phase_));
+  d.mix(load_done_);
+  d.mix(store_done_);
+  d.mix(static_cast<std::uint64_t>(compute_end_));
+  for (Cycle c : frame_done_cycles_) d.mix(static_cast<std::uint64_t>(c));
+}
+
 void DnnAccelerator::register_metrics(MetricsRegistry& reg) {
   AxiMasterBase::register_metrics(reg);
   reg.add_counter(name() + ".frames_done", &frames_);

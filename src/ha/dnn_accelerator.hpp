@@ -84,6 +84,8 @@ class DnnAccelerator final : public AxiMasterBase, public ControllableHa {
   /// Base metrics plus the frame counter and phase gauge.
   void register_metrics(MetricsRegistry& reg) override;
 
+  void append_digest(StateDigest& d) const override;
+
  private:
   enum class Phase { kLoad, kCompute, kStore, kDone };
 

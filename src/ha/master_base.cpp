@@ -17,6 +17,31 @@ AxiMasterBase::AxiMasterBase(std::string name, AxiLink& link,
       allow_ooo_(allow_out_of_order) {
   AXIHC_CHECK(max_or_ > 0);
   AXIHC_CHECK(max_ow_ > 0);
+  link_.attach_endpoint(*this);
+}
+
+void AxiMasterBase::append_digest(StateDigest& d) const {
+  d.mix(stats_.reads_issued);
+  d.mix(stats_.reads_completed);
+  d.mix(stats_.writes_issued);
+  d.mix(stats_.writes_completed);
+  d.mix(stats_.bytes_read);
+  d.mix(stats_.bytes_written);
+  d.mix(stats_.reads_failed);
+  d.mix(stats_.writes_failed);
+  d.mix(stats_.read_latency.count());
+  for (Cycle s : stats_.read_latency.samples()) {
+    d.mix(static_cast<std::uint64_t>(s));
+  }
+  d.mix(stats_.write_latency.count());
+  for (Cycle s : stats_.write_latency.samples()) {
+    d.mix(static_cast<std::uint64_t>(s));
+  }
+  d.mix(static_cast<std::uint64_t>(next_id_));
+  d.mix(static_cast<std::uint64_t>(reads_in_flight_.size()));
+  for (const auto& f : reads_in_flight_) d.mix(f.beats_left);
+  d.mix(static_cast<std::uint64_t>(writes_in_flight_.size()));
+  d.mix(static_cast<std::uint64_t>(w_backlog_.size()));
 }
 
 void AxiMasterBase::register_metrics(MetricsRegistry& reg) {

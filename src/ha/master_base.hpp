@@ -78,6 +78,13 @@ class AxiMasterBase : public Component {
   /// `reg`. Virtual so subclasses can append their own (jobs done, frames).
   virtual void register_metrics(MetricsRegistry& reg);
 
+  /// Masters touch only their own state and their link's channels.
+  [[nodiscard]] TickScope tick_scope() const override {
+    return TickScope::kIsland;
+  }
+
+  void append_digest(StateDigest& d) const override;
+
  protected:
   /// True when an AR can be pushed this cycle without exceeding the
   /// outstanding-read limit.

@@ -54,7 +54,12 @@ HyperConnect::HyperConnect(std::string name, HyperConnectConfig cfg)
         cfg_.ts_stage_depth));
     ts_ar_ptrs_.push_back(ts_ar_.back().get());
     ts_aw_ptrs_.push_back(ts_aw_.back().get());
+    ts_ar_.back()->add_endpoint(*this);
+    ts_aw_.back()->add_endpoint(*this);
   }
+  xbar_ar_.add_endpoint(*this);
+  xbar_aw_.add_endpoint(*this);
+  control_link_.attach_endpoint(*this);
 }
 
 void HyperConnect::register_with(Simulator& sim) {
@@ -83,6 +88,18 @@ void HyperConnect::reset() {
 
 std::string HyperConnect::port_source(PortIndex i) const {
   return name() + ".port" + std::to_string(i);
+}
+
+void HyperConnect::append_digest(StateDigest& d) const {
+  Interconnect::append_digest(d);
+  for (std::uint32_t b : budget_left_) d.mix(b);
+  d.mix(recharges_);
+  d.mix(faults_latched_);
+  for (const auto& ts : ts_) d.mix(ts->subtransactions_issued());
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    d.mix(static_cast<std::uint64_t>(efifos_[i].coupled()) |
+          (static_cast<std::uint64_t>(efifos_[i].faulted()) << 1));
+  }
 }
 
 void HyperConnect::register_metrics(MetricsRegistry& reg) {

@@ -86,6 +86,10 @@ class HyperConnect final : public Interconnect {
   /// outlive the registry's sampling.
   void register_metrics(MetricsRegistry& reg);
 
+  /// Base port counters plus reservation/protection state (budgets,
+  /// recharges, latched faults, per-port sub-transaction counts).
+  void append_digest(StateDigest& d) const override;
+
  private:
   [[nodiscard]] bool tracing() const {
     return trace_ != nullptr && trace_->enabled();

@@ -18,6 +18,20 @@ Interconnect::Interconnect(std::string name, std::uint32_t num_ports,
   }
   master_link_ = std::make_unique<AxiLink>(Component::name() + ".m",
                                            master_link_cfg);
+  // The interconnect is an endpoint of every link it terminates, so the
+  // island partition keeps it connected to all its masters and its slave.
+  for (auto& link : port_links_) link->attach_endpoint(*this);
+  master_link_->attach_endpoint(*this);
+}
+
+void Interconnect::append_digest(StateDigest& d) const {
+  for (const PortCounters& c : counters_) {
+    d.mix(c.ar_granted);
+    d.mix(c.aw_granted);
+    d.mix(c.r_beats);
+    d.mix(c.w_beats);
+    d.mix(c.b_resps);
+  }
 }
 
 Interconnect::~Interconnect() = default;

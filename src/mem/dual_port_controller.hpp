@@ -61,6 +61,20 @@ class DualPortMemoryController final : public Component {
     return fpga_served_;
   }
 
+  /// Channel-pure: touches only its two links, its store and its registers.
+  [[nodiscard]] TickScope tick_scope() const override {
+    return TickScope::kIsland;
+  }
+
+  void append_digest(StateDigest& d) const override {
+    d.mix(ps_served_);
+    d.mix(fpga_served_);
+    d.mix(static_cast<std::uint64_t>(queue_.size()));
+    d.mix(static_cast<std::uint64_t>(busy_));
+    d.mix(static_cast<std::uint64_t>(wait_left_));
+    d.mix(beats_left_);
+  }
+
  private:
   enum class Source : std::uint8_t { kPs, kFpga };
 

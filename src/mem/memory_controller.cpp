@@ -15,6 +15,24 @@ MemoryController::MemoryController(std::string name, AxiLink& link,
       cfg_(cfg),
       open_row_(cfg.banks, kNoRow) {
   AXIHC_CHECK(cfg_.banks > 0);
+  link_.attach_endpoint(*this);
+}
+
+void MemoryController::append_digest(StateDigest& d) const {
+  d.mix(reads_served_);
+  d.mix(writes_served_);
+  d.mix(beats_served_);
+  d.mix(busy_cycles_);
+  d.mix(row_hits_);
+  d.mix(row_misses_);
+  d.mix(reordered_);
+  d.mix(refreshes_);
+  d.mix(decode_errors_);
+  d.mix(slv_errors_);
+  d.mix(static_cast<std::uint64_t>(queue_.size()));
+  d.mix(static_cast<std::uint64_t>(phase_));
+  d.mix(static_cast<std::uint64_t>(wait_left_));
+  d.mix(beats_left_);
 }
 
 void MemoryController::register_metrics(MetricsRegistry& reg) {

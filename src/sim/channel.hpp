@@ -29,14 +29,18 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/digest.hpp"
 
 namespace axihc {
+
+class Component;
 
 /// Type-erased base so the Simulator can commit/reset heterogeneous channels.
 class ChannelBase {
@@ -52,17 +56,41 @@ class ChannelBase {
   /// Hardware reset: drop all contents.
   virtual void reset() = 0;
 
+  /// Folds the committed + staged contents and traffic counters into `d`
+  /// (Simulator::state_digest). Default: no content to report.
+  virtual void append_digest(StateDigest& d) const { (void)d; }
+
+  /// Declares `component` as an endpoint (producer or consumer) of this
+  /// channel. Called from component constructors; the island engine builds
+  /// connected components of the (component, channel) graph from these
+  /// declarations at elaboration time. Duplicate declarations are fine.
+  void add_endpoint(const Component& component) {
+    endpoints_.push_back(&component);
+  }
+
+  [[nodiscard]] const std::vector<const Component*>& endpoints() const {
+    return endpoints_;
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
 
  protected:
-  /// Enqueues this channel on its Simulator's end-of-cycle commit list (once
-  /// per cycle). Called on any state change that a commit must observe:
-  /// push (staged data), pop and flush (the next snapshot changes).
+  /// Enqueues this channel on its commit list (once per cycle). Called on any
+  /// state change that a commit must observe: push (staged data), pop and
+  /// flush (the next snapshot changes).
+  ///
+  /// The epoch stamp guards against duplicate enqueues within one cycle: a
+  /// mid-cycle manual commit() clears dirty_, so a second touch in the same
+  /// cycle would re-enqueue under a dirty_-only guard and the commit phase
+  /// would commit (and re-snapshot) the channel twice. The stamp survives
+  /// clear_dirty(), so the channel stays enqueued exactly once per epoch.
   void mark_dirty() {
-    if (!dirty_) {
-      dirty_ = true;
-      if (dirty_list_ != nullptr) dirty_list_->push_back(this);
-    }
+    if (dirty_) return;
+    dirty_ = true;
+    if (dirty_list_ == nullptr) return;
+    if (enqueue_epoch_ == *epoch_) return;  // already on the list this cycle
+    enqueue_epoch_ = *epoch_;
+    dirty_list_->push_back(this);
   }
 
   /// commit() implementations call this so a later change re-enqueues.
@@ -72,7 +100,12 @@ class ChannelBase {
   friend class Simulator;
 
   std::string name_;
-  std::vector<ChannelBase*>* dirty_list_ = nullptr;  // owned by the Simulator
+  std::vector<const Component*> endpoints_;
+  // Commit list this channel enqueues itself on: the Simulator's main dirty
+  // list, or (island engine) its island's local list. Null when standalone.
+  std::vector<ChannelBase*>* dirty_list_ = nullptr;
+  const std::uint64_t* epoch_ = nullptr;  // Simulator's cycle epoch counter
+  std::uint64_t enqueue_epoch_ = 0;       // epoch of the last enqueue
   bool dirty_ = false;
 };
 
@@ -141,6 +174,17 @@ class TimingChannel final : public ChannelBase {
     clear_contents();
     total_pushes_ = 0;
     total_pops_ = 0;
+  }
+
+  void append_digest(StateDigest& d) const override {
+    d.mix(name());
+    d.mix(static_cast<std::uint64_t>(committed_));
+    d.mix(static_cast<std::uint64_t>(staged_));
+    d.mix(total_pushes_);
+    d.mix(total_pops_);
+    for (std::size_t i = 0; i < committed_ + staged_; ++i) {
+      digest_detail::fold(d, slots_[wrap(head_ + i)]);
+    }
   }
 
   /// Drops all queued and staged elements but keeps the traffic counters

@@ -6,8 +6,25 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "sim/digest.hpp"
 
 namespace axihc {
+
+/// What a component's tick() may touch — the contract the island engine
+/// (src/sim/island.hpp) partitions on.
+enum class TickScope : std::uint8_t {
+  /// tick() may read or write state outside this component and its
+  /// registered channels (e.g. it samples foreign counters through a
+  /// registry, or drives another component directly). Serial-scope
+  /// components collapse the whole system into one island: the engine
+  /// then ticks everything in registration order, exactly like the
+  /// serial kernel.
+  kSerial,
+  /// tick() touches only this component's own state and channels it is a
+  /// declared endpoint of (ChannelBase::add_endpoint). Island-scope
+  /// components may tick concurrently with components in other islands.
+  kIsland,
+};
 
 class Component {
  public:
@@ -36,6 +53,18 @@ class Component {
   /// components' state being unchanged across the skipped stretch. Must not
   /// mutate any state (it runs on cycles that are then skipped).
   [[nodiscard]] virtual Cycle next_activity(Cycle now) const { return now; }
+
+  /// Parallel-tick contract (see TickScope). Default kSerial: a component
+  /// that has not audited its tick() for foreign-state access must not be
+  /// parallelized — one unaudited component safely serializes the system.
+  [[nodiscard]] virtual TickScope tick_scope() const {
+    return TickScope::kSerial;
+  }
+
+  /// Folds this component's architecturally visible state (counters,
+  /// latched registers, completion logs) into `d` for
+  /// Simulator::state_digest(). Default: stateless.
+  virtual void append_digest(StateDigest& d) const { (void)d; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
 

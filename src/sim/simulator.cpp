@@ -1,15 +1,28 @@
 #include "sim/simulator.hpp"
 
+#include "sim/worker_pool.hpp"
+
 namespace axihc {
 
-void Simulator::add(Component& component) { components_.push_back(&component); }
+void Simulator::add(Component& component) {
+  components_.push_back(&component);
+  partition_stale_ = true;
+}
 
 void Simulator::add(ChannelBase& channel) {
   channels_.push_back(&channel);
+  // New channels start on the main list; ensure_wiring() retargets them to
+  // their island's list before the next compute phase.
   channel.dirty_list_ = &dirty_;
+  channel.epoch_ = &epoch_;
+  channel.enqueue_epoch_ = 0;
+  partition_stale_ = true;
   // A channel touched before registration (pushes staged during setup) must
   // still be committed at the end of the first cycle.
-  if (channel.dirty_) dirty_.push_back(&channel);
+  if (channel.dirty_) {
+    channel.enqueue_epoch_ = epoch_;
+    dirty_.push_back(&channel);
+  }
 }
 
 void Simulator::reset() {
@@ -18,11 +31,69 @@ void Simulator::reset() {
   // Commit once so occupancy snapshots start from the empty state.
   for (auto* ch : channels_) ch->commit();
   dirty_.clear();
+  for (auto& isl : part_.islands) {
+    isl.dirty.clear();
+    isl.staging.clear();
+  }
+  // Invalidate stale enqueue stamps: the lists were cleared wholesale, so a
+  // stamp equal to the old epoch must not suppress the next enqueue.
+  ++epoch_;
   last_step_quiet_ = true;
   now_ = 0;
 }
 
+bool Simulator::no_pending_commits() const {
+  if (!dirty_.empty()) return false;
+  for (const auto& isl : part_.islands) {
+    if (!isl.dirty.empty()) return false;
+  }
+  return true;
+}
+
+void Simulator::ensure_wiring() {
+  const bool want = engine_active();
+  if (want == island_wiring_ && (!want || !partition_stale_)) return;
+  rewire(want);
+}
+
+void Simulator::rewire(bool want_islands) {
+  // Channels already enqueued for commit must survive the retarget: collect
+  // them, move the lists, re-enqueue. Their epoch stamps stay valid, so they
+  // remain enqueued exactly once.
+  std::vector<ChannelBase*> pending(dirty_.begin(), dirty_.end());
+  dirty_.clear();
+  for (auto& isl : part_.islands) {
+    pending.insert(pending.end(), isl.dirty.begin(), isl.dirty.end());
+    isl.dirty.clear();
+  }
+  if (want_islands) {
+    if (partition_stale_) {
+      part_ = partition_islands(components_, channels_);
+      partition_stale_ = false;
+    }
+    for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+      const std::size_t isl = part_.channel_island[ci];
+      channels_[ci]->dirty_list_ = isl == IslandPartition::kUnassigned
+                                       ? &dirty_
+                                       : &part_.islands[isl].dirty;
+    }
+  } else {
+    for (auto* ch : channels_) ch->dirty_list_ = &dirty_;
+  }
+  island_wiring_ = want_islands;
+  for (auto* ch : pending) ch->dirty_list_->push_back(ch);
+}
+
 void Simulator::step() {
+  ensure_wiring();
+  if (island_wiring_) {
+    step_islands();
+  } else {
+    step_serial();
+  }
+}
+
+void Simulator::step_serial() {
   for (auto* c : components_) c->tick(now_);
   // Quiet cycles (no push/pop/flush anywhere) are the precondition for even
   // attempting a fast-forward next cycle: busy fabrics touch channels nearly
@@ -31,33 +102,137 @@ void Simulator::step() {
   for (auto* ch : dirty_) ch->commit();
   dirty_.clear();
   ++now_;
+  ++epoch_;
+}
+
+void Simulator::tick_island(Island& island, bool stage_traces) {
+  if (!stage_traces) {
+    // No trace in the process is enabled: record sites are dead, so skip
+    // the thread-local sink install and per-component sequence tagging.
+    for (auto* c : island.components) c->tick(now_);
+    return;
+  }
+  TraceStagingBuffer::install(&island.staging);
+  const std::size_t n = island.components.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    TraceStagingBuffer::set_sequence(island.seq[k]);
+    island.components[k]->tick(now_);
+  }
+  TraceStagingBuffer::install(nullptr);
+}
+
+void Simulator::step_islands() {
+  auto& islands = part_.islands;
+  const std::size_t ni = islands.size();
+
+  // Compute phase: island-major, fixed island → participant assignment
+  // (round-robin by island index) so the work placement — though not any
+  // result — is a deterministic function of topology and thread count.
+  unsigned nw = threads_;
+  if (nw > ni) nw = static_cast<unsigned>(ni);
+  if (WorkerPool::on_pool_thread()) nw = 1;  // nested inside a sweep job
+  const bool stage_traces = EventTrace::any_enabled();
+  if (nw <= 1) {
+    for (auto& isl : islands) tick_island(isl, stage_traces);
+  } else {
+    WorkerPool& pool = WorkerPool::shared();
+    if (nw > pool.max_participants()) nw = pool.max_participants();
+    pool.run_tasks(nw, [&](unsigned w) {
+      for (std::size_t i = w; i < ni; i += nw) {
+        tick_island(islands[i], stage_traces);
+      }
+    });
+  }
+
+  // Merge staged trace events back into their traces in registration order
+  // (no-op when tracing is off or the cycle recorded nothing).
+  if (stage_traces) {
+    staging_scratch_.clear();
+    for (auto& isl : islands) {
+      if (!isl.staging.empty()) staging_scratch_.push_back(&isl.staging);
+    }
+    if (!staging_scratch_.empty()) {
+      merge_staged_traces(staging_scratch_.data(), staging_scratch_.size());
+    }
+  }
+
+  // Commit phase: serial, islands in order then the main list — a fixed
+  // permutation of the channels, independent of thread count.
+  bool quiet = dirty_.empty();
+  for (auto& isl : islands) quiet = quiet && isl.dirty.empty();
+  last_step_quiet_ = quiet;
+  for (auto& isl : islands) {
+    for (auto* ch : isl.dirty) ch->commit();
+    isl.dirty.clear();
+  }
+  for (auto* ch : dirty_) ch->commit();
+  dirty_.clear();
+  ++now_;
+  ++epoch_;
 }
 
 void Simulator::advance(Cycle deadline) {
+  ensure_wiring();
   // Jump only from a provably frozen state: the last cycle moved no data
   // (so no commit is pending a snapshot change) and nothing was staged
   // outside a tick since then.
-  if (fast_forward_ && last_step_quiet_ && dirty_.empty()) {
+  if (fast_forward_ && last_step_quiet_ && no_pending_commits()) {
     Cycle target = deadline;
-    for (const auto* c : components_) {
-      const Cycle na = c->next_activity(now_);
-      if (na <= now_) {
-        target = now_;
-        break;
+    if (island_wiring_) {
+      // Reduce per-island next-activity certificates. next_activity() runs
+      // between cycles (no compute phase in flight), so even cross-island
+      // channel reads in implementations are race-free here.
+      for (const auto& isl : part_.islands) {
+        target = isl.next_activity(now_, target);
+        if (target <= now_) break;
       }
-      if (na < target) target = na;
+    } else {
+      for (const auto* c : components_) {
+        const Cycle na = c->next_activity(now_);
+        if (na <= now_) {
+          target = now_;
+          break;
+        }
+        if (na < target) target = na;
+      }
     }
     // Every skipped cycle [now_, target) would have been a full-system
     // no-op: no ticks run, so the certificates stay valid by induction.
     now_ = target;
     if (now_ >= deadline) return;
   }
-  step();
+  if (island_wiring_) {
+    step_islands();
+  } else {
+    step_serial();
+  }
 }
 
 void Simulator::run(Cycle cycles) {
   const Cycle deadline = now_ + cycles;
   while (now_ < deadline) advance(deadline);
+}
+
+std::size_t Simulator::island_count() {
+  if (engine_active()) {
+    ensure_wiring();
+    return part_.islands.size();
+  }
+  // Engine off: partition on demand without disturbing the serial wiring.
+  return partition_islands(components_, channels_).islands.size();
+}
+
+std::uint64_t Simulator::state_digest() const {
+  StateDigest d;
+  d.mix(static_cast<std::uint64_t>(now_));
+  d.mix(static_cast<std::uint64_t>(channels_.size()));
+  for (const auto* ch : channels_) ch->append_digest(d);
+  d.mix(static_cast<std::uint64_t>(components_.size()));
+  for (const auto* c : components_) {
+    d.mix(c->name());
+    c->append_digest(d);
+  }
+  return d.value();
 }
 
 }  // namespace axihc

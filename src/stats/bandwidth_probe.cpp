@@ -11,6 +11,10 @@ BandwidthProbe::BandwidthProbe(std::string name, AxiLink& link, Cycle window)
     : Component(std::move(name)), link_(link), window_(window) {
   AXIHC_CHECK(window_ > 0);
   window_end_ = window_;
+  // Counter reads are still cross-component state: co-island with the
+  // link's producer/consumer so the observed counters are tick-order stable.
+  link_.r.add_endpoint(*this);
+  link_.w.add_endpoint(*this);
 }
 
 void BandwidthProbe::register_metrics(MetricsRegistry& reg) {

@@ -62,6 +62,20 @@ class BandwidthProbe final : public Component {
   /// sample equals total_read_bytes()/total_write_bytes() exactly.
   void register_metrics(MetricsRegistry& reg);
 
+  /// Reads only its link's R/W traffic counters — the probe registers as an
+  /// endpoint of those channels, so it islands together with their users.
+  [[nodiscard]] TickScope tick_scope() const override {
+    return TickScope::kIsland;
+  }
+
+  void append_digest(StateDigest& d) const override {
+    d.mix(read_total_);
+    d.mix(write_total_);
+    d.mix(static_cast<std::uint64_t>(read_windows_.size()));
+    for (std::uint64_t w : read_windows_) d.mix(w);
+    for (std::uint64_t w : write_windows_) d.mix(w);
+  }
+
  private:
   static constexpr std::uint64_t kBusBytes = 8;
 

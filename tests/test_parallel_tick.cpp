@@ -1,0 +1,410 @@
+// Island-partitioned parallel tick engine: every observable of a run —
+// state digest, completion cycles, interconnect/memory counters, APM probe
+// windows, sampled metric series, the full trace-event stream — must be
+// bit-identical to the serial kernel at any thread count, with and without
+// the kernel fast-forward.
+//
+// Two scenarios:
+//  * A contended 3-port HyperConnect run (the hostile fast-path scenario
+//    from test_kernel_fastpath.cpp, plus a seeded FaultInjector spliced in
+//    front of one port). The serial-scope MetricsSampler collapses the
+//    partition to one island, which is exactly the engine's safe fallback —
+//    the staging/merge/commit machinery still runs and must be invisible.
+//  * A multi-island system (independent HC+DDR+DMA subsystems sharing one
+//    trace), where the partitioner finds one island per subsystem and the
+//    compute phase genuinely fans out across workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "ha/dma_engine.hpp"
+#include "ha/dnn_accelerator.hpp"
+#include "hypervisor/domain.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "obs/metrics.hpp"
+#include "sim/trace.hpp"
+#include "sim/worker_pool.hpp"
+#include "soc/soc.hpp"
+#include "stats/bandwidth_probe.hpp"
+
+namespace axihc {
+namespace {
+
+DnnConfig small_dnn() {
+  DnnConfig cfg;
+  cfg.layers = googlenet_layers();
+  for (auto& l : cfg.layers) {
+    l.weight_bytes /= 256;
+    l.ifmap_bytes /= 256;
+    l.ofmap_bytes /= 256;
+    l.macs /= 256;
+  }
+  cfg.macs_per_cycle = 256;
+  cfg.burst_beats = 16;
+  cfg.max_outstanding = 4;
+  cfg.max_frames = 1;
+  return cfg;
+}
+
+DmaConfig small_dma(Addr base) {
+  DmaConfig cfg;
+  cfg.mode = DmaMode::kReadWrite;
+  cfg.bytes_per_job = 64 << 10;
+  cfg.read_base = base;
+  cfg.write_base = base + (1u << 20);
+  cfg.burst_beats = 16;
+  cfg.max_outstanding = 8;
+  cfg.max_jobs = 0;  // loop forever; the run_until predicate bounds it
+  return cfg;
+}
+
+// Protocol-preserving faults only (probabilistic W delays plus a bounded AR
+// stall window): the run must still complete, but the injector's seeded RNG
+// and skid-buffer state become part of what the engine must reproduce.
+FaultScenario mild_faults(PortIndex port) {
+  FaultScenario scenario;
+  scenario.seed = 42;
+  scenario.faults = {
+      {FaultKind::kDelayW, port, 1000, 0, 3, 0.25},
+      {FaultKind::kStallAr, port, 5000, 2000, 0, 1.0},
+  };
+  return scenario;
+}
+
+struct RunOutcome {
+  bool done = false;
+  Cycle final_cycle = 0;
+  std::uint64_t digest = 0;
+  std::size_t islands = 0;
+  std::vector<Cycle> dnn_frames;
+  std::vector<Cycle> dma0_jobs;
+  std::vector<Cycle> dma1_jobs;
+  std::vector<std::uint64_t> icn_counters;
+  std::uint64_t mem_beats = 0;
+  std::uint64_t recharges = 0;
+  std::uint64_t w_delay_cycles = 0;
+  std::uint64_t ar_stalled = 0;
+  std::vector<std::uint64_t> probe_read_windows;
+  std::vector<std::uint64_t> probe_write_windows;
+  std::vector<MetricsSnapshot> samples;
+  std::vector<TraceEvent> trace_events;
+};
+
+void expect_equal(const RunOutcome& a, const RunOutcome& b) {
+  ASSERT_TRUE(a.done);
+  ASSERT_TRUE(b.done);
+  EXPECT_EQ(a.final_cycle, b.final_cycle);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.dnn_frames, b.dnn_frames);
+  EXPECT_EQ(a.dma0_jobs, b.dma0_jobs);
+  EXPECT_EQ(a.dma1_jobs, b.dma1_jobs);
+  EXPECT_EQ(a.icn_counters, b.icn_counters);
+  EXPECT_EQ(a.mem_beats, b.mem_beats);
+  EXPECT_EQ(a.recharges, b.recharges);
+  EXPECT_EQ(a.w_delay_cycles, b.w_delay_cycles);
+  EXPECT_EQ(a.ar_stalled, b.ar_stalled);
+  EXPECT_EQ(a.probe_read_windows, b.probe_read_windows);
+  EXPECT_EQ(a.probe_write_windows, b.probe_write_windows);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].cycle, b.samples[i].cycle);
+    EXPECT_EQ(a.samples[i].values, b.samples[i].values);
+  }
+  // Full trace-event stream, event by event: the staged-trace merge must
+  // restore the exact serial registration-order stream.
+  ASSERT_EQ(a.trace_events.size(), b.trace_events.size());
+  for (std::size_t i = 0; i < a.trace_events.size(); ++i) {
+    const TraceEvent& x = a.trace_events[i];
+    const TraceEvent& y = b.trace_events[i];
+    EXPECT_EQ(x.cycle, y.cycle) << "event " << i;
+    EXPECT_EQ(x.source, y.source) << "event " << i;
+    EXPECT_EQ(x.event, y.event) << "event " << i;
+    EXPECT_EQ(x.kind, y.kind) << "event " << i;
+    EXPECT_EQ(x.value, y.value) << "event " << i;
+  }
+}
+
+// threads <= 1 runs the untouched serial kernel; threads >= 2 the engine.
+RunOutcome run_contended(unsigned threads, bool fast_forward) {
+  SocConfig cfg;
+  cfg.kind = InterconnectKind::kHyperConnect;
+  cfg.num_ports = 3;
+  const ReservationPlan plan =
+      plan_bandwidth_split(2000, 27.0, {0.6, 0.3, 0.1});
+  cfg.hc.num_ports = 3;
+  cfg.hc.reservation_period = plan.period;
+  cfg.hc.initial_budgets = plan.budgets;
+  cfg.mem.row_hit_latency = 10;
+  cfg.mem.row_miss_latency = 24;
+  cfg.mem.turnaround = 1;
+  SocSystem soc(cfg);
+  soc.sim().set_fast_forward(fast_forward);
+  soc.sim().set_threads(threads);
+
+  DnnAccelerator dnn("dnn", soc.port(0), small_dnn());
+  // dma0 masters a private link; the injector forwards it to port 1.
+  AxiLink dma0_up("dma0_up");
+  dma0_up.register_with(soc.sim());
+  DmaEngine dma0("dma0", dma0_up, small_dma(0x4000'0000));
+  FaultInjector inj("inj1", dma0_up, soc.port(1), mild_faults(1), 1);
+  DmaEngine dma1("dma1", soc.port(2), small_dma(0x6000'0000));
+  soc.add(dnn);
+  soc.add(dma0);
+  soc.add(inj);
+  soc.add(dma1);
+
+  EventTrace trace;
+  trace.enable(true);
+  soc.hyperconnect()->set_trace(&trace);
+  soc.memory_controller().set_trace(&trace);
+
+  MetricsRegistry registry;
+  soc.hyperconnect()->register_metrics(registry);
+  soc.memory_controller().register_metrics(registry);
+  MetricsSampler sampler("sampler", registry, 500);
+  soc.add(sampler);
+
+  BandwidthProbe probe("apm", soc.interconnect().master_link(), 1000);
+  soc.add(probe);
+
+  soc.sim().reset();
+  RunOutcome out;
+  out.done = soc.sim().run_until(
+      [&] {
+        return dnn.finished() && dma0.jobs_completed() >= 2 &&
+               dma1.jobs_completed() >= 2;
+      },
+      50'000'000ull);
+  out.final_cycle = soc.sim().now();
+  out.digest = soc.sim().state_digest();
+  out.islands = soc.sim().island_count();
+  out.dnn_frames = dnn.frame_completion_cycles();
+  out.dma0_jobs = dma0.job_completion_cycles();
+  out.dma1_jobs = dma1.job_completion_cycles();
+  for (PortIndex i = 0; i < 3; ++i) {
+    const PortCounters& c = soc.interconnect().counters(i);
+    out.icn_counters.insert(out.icn_counters.end(),
+                            {c.ar_granted, c.aw_granted, c.r_beats,
+                             c.w_beats, c.b_resps});
+  }
+  out.mem_beats = soc.memory_controller().beats_served();
+  out.recharges = soc.hyperconnect()->recharges();
+  out.w_delay_cycles = inj.stats().w_delay_cycles;
+  out.ar_stalled = inj.stats().ar_stalled;
+  out.probe_read_windows = probe.read_window_bytes();
+  out.probe_write_windows = probe.write_window_bytes();
+  out.samples = sampler.snapshots();
+  out.trace_events = trace.events();
+  return out;
+}
+
+TEST(ParallelTick, ContendedScenarioBitIdenticalAcrossThreadCounts) {
+  for (const bool ff : {true, false}) {
+    SCOPED_TRACE(ff ? "fast-forward" : "naive stepping");
+    const RunOutcome serial = run_contended(0, ff);
+    // The serial-scope sampler collapses the partition: safe fallback.
+    EXPECT_EQ(serial.islands, 1u);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE(threads);
+      const RunOutcome engine = run_contended(threads, ff);
+      expect_equal(serial, engine);
+    }
+  }
+}
+
+TEST(ParallelTick, FastForwardOnOffAgreeUnderEngine) {
+  // Fast-forward composes with the engine: the per-island next-activity
+  // reduction must pick the same wake-up cycles the serial scan does.
+  const RunOutcome ff = run_contended(2, /*fast_forward=*/true);
+  const RunOutcome naive = run_contended(2, /*fast_forward=*/false);
+  expect_equal(ff, naive);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-island scenario: independent subsystems, genuine fan-out.
+
+struct MultiIslandSystem {
+  Simulator sim;
+  EventTrace trace;  // shared across islands: stresses the staged merge
+  std::vector<std::unique_ptr<BackingStore>> stores;
+  std::vector<std::unique_ptr<HyperConnect>> hcs;
+  std::vector<std::unique_ptr<MemoryController>> mems;
+  std::vector<std::unique_ptr<DmaEngine>> dmas;
+  std::vector<std::unique_ptr<BandwidthProbe>> probes;
+
+  explicit MultiIslandSystem(std::uint32_t subsystems) {
+    trace.enable(true);
+    for (std::uint32_t s = 0; s < subsystems; ++s) {
+      HyperConnectConfig cfg;
+      cfg.num_ports = 2;
+      hcs.push_back(
+          std::make_unique<HyperConnect>("hc" + std::to_string(s), cfg));
+      stores.push_back(std::make_unique<BackingStore>());
+      mems.push_back(std::make_unique<MemoryController>(
+          "ddr" + std::to_string(s), hcs.back()->master_link(),
+          *stores.back(), MemoryControllerConfig{}));
+      hcs.back()->register_with(sim);
+      sim.add(*mems.back());
+      hcs.back()->set_trace(&trace);
+      mems.back()->set_trace(&trace);
+      probes.push_back(std::make_unique<BandwidthProbe>(
+          "apm" + std::to_string(s), hcs.back()->master_link(), 1000));
+      sim.add(*probes.back());
+      for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+        DmaConfig d;
+        d.mode = DmaMode::kReadWrite;
+        d.bytes_per_job = 16 << 10;
+        d.max_jobs = 3;
+        dmas.push_back(std::make_unique<DmaEngine>(
+            "dma" + std::to_string(s) + "_" + std::to_string(p),
+            hcs.back()->port_link(p), d));
+        sim.add(*dmas.back());
+      }
+    }
+  }
+
+  bool run() {
+    sim.reset();
+    return sim.run_until(
+        [&] {
+          for (const auto& d : dmas) {
+            if (!d->finished()) return false;
+          }
+          return true;
+        },
+        10'000'000ull);
+  }
+};
+
+struct MultiIslandOutcome {
+  bool done = false;
+  Cycle final_cycle = 0;
+  std::uint64_t digest = 0;
+  std::size_t islands = 0;
+  std::vector<Cycle> job_cycles;
+  std::vector<std::uint64_t> probe_windows;
+  std::vector<TraceEvent> trace_events;
+};
+
+MultiIslandOutcome run_multi_island(unsigned threads, bool fast_forward,
+                                    std::uint32_t subsystems) {
+  MultiIslandSystem system(subsystems);
+  system.sim.set_threads(threads);
+  system.sim.set_fast_forward(fast_forward);
+  MultiIslandOutcome out;
+  out.done = system.run();
+  out.final_cycle = system.sim.now();
+  out.digest = system.sim.state_digest();
+  out.islands = system.sim.island_count();
+  for (const auto& d : system.dmas) {
+    const auto& cycles = d->job_completion_cycles();
+    out.job_cycles.insert(out.job_cycles.end(), cycles.begin(), cycles.end());
+  }
+  for (const auto& p : system.probes) {
+    const auto& r = p->read_window_bytes();
+    const auto& w = p->write_window_bytes();
+    out.probe_windows.insert(out.probe_windows.end(), r.begin(), r.end());
+    out.probe_windows.insert(out.probe_windows.end(), w.begin(), w.end());
+  }
+  out.trace_events = system.trace.events();
+  return out;
+}
+
+TEST(ParallelTick, MultiIslandScenarioBitIdenticalAcrossThreadCounts) {
+  constexpr std::uint32_t kSubsystems = 4;
+  for (const bool ff : {true, false}) {
+    SCOPED_TRACE(ff ? "fast-forward" : "naive stepping");
+    const MultiIslandOutcome serial = run_multi_island(0, ff, kSubsystems);
+    ASSERT_TRUE(serial.done);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE(threads);
+      const MultiIslandOutcome engine =
+          run_multi_island(threads, ff, kSubsystems);
+      ASSERT_TRUE(engine.done);
+      // Independent subsystems must land in distinct islands.
+      EXPECT_EQ(engine.islands, kSubsystems);
+      EXPECT_EQ(serial.final_cycle, engine.final_cycle);
+      EXPECT_EQ(serial.digest, engine.digest);
+      EXPECT_EQ(serial.job_cycles, engine.job_cycles);
+      EXPECT_EQ(serial.probe_windows, engine.probe_windows);
+      ASSERT_EQ(serial.trace_events.size(), engine.trace_events.size());
+      for (std::size_t i = 0; i < serial.trace_events.size(); ++i) {
+        const TraceEvent& x = serial.trace_events[i];
+        const TraceEvent& y = engine.trace_events[i];
+        EXPECT_EQ(x.cycle, y.cycle) << "event " << i;
+        EXPECT_EQ(x.source, y.source) << "event " << i;
+        EXPECT_EQ(x.event, y.event) << "event " << i;
+        EXPECT_EQ(x.kind, y.kind) << "event " << i;
+        EXPECT_EQ(x.value, y.value) << "event " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelTick, NoParallelTickFlagForcesSerialKernel) {
+  // set_parallel_tick(false) must force the serial kernel even with a
+  // thread count configured — and the observables stay identical.
+  MultiIslandSystem engine(2);
+  engine.sim.set_threads(4);
+  MultiIslandSystem forced(2);
+  forced.sim.set_threads(4);
+  forced.sim.set_parallel_tick(false);
+  EXPECT_TRUE(engine.run());
+  EXPECT_TRUE(forced.run());
+  EXPECT_FALSE(forced.sim.parallel_tick());
+  EXPECT_EQ(engine.sim.state_digest(), forced.sim.state_digest());
+  EXPECT_EQ(engine.sim.now(), forced.sim.now());
+}
+
+TEST(ParallelTick, RepeatedRunsYieldIdenticalDigests) {
+  // Same configuration, same digest; advancing one run changes it.
+  const MultiIslandOutcome a = run_multi_island(2, true, 2);
+  const MultiIslandOutcome b = run_multi_island(2, true, 2);
+  EXPECT_EQ(a.digest, b.digest);
+
+  MultiIslandSystem longer(2);
+  longer.sim.set_threads(2);
+  EXPECT_TRUE(longer.run());
+  const std::uint64_t at_end = longer.sim.state_digest();
+  // A DMA with max_jobs exhausted is idle, so push traffic through port 0
+  // directly to perturb state.
+  longer.hcs[0]->port_link(0).ar.push(AddrReq{});
+  longer.sim.run(4);
+  EXPECT_NE(longer.sim.state_digest(), at_end);
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool sanity.
+
+TEST(WorkerPoolTest, RunsEachIndexExactlyOnce) {
+  WorkerPool& pool = WorkerPool::shared();
+  const unsigned n = std::min(4u, pool.max_participants());
+  std::vector<std::atomic<int>> counts(n);
+  for (int round = 0; round < 100; ++round) {
+    pool.run_tasks(n, [&](unsigned index) {
+      counts[index].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    EXPECT_EQ(counts[i].load(), 100) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, NestedDispatchDegradesToInline) {
+  // A pool task dispatching again must run its tasks inline (no deadlock,
+  // no oversubscription) — this is what caps sweep × engine parallelism.
+  WorkerPool& pool = WorkerPool::shared();
+  std::atomic<int> total{0};
+  pool.run_tasks(2, [&](unsigned) {
+    pool.run_tasks(4,
+                   [&](unsigned) { total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+}  // namespace
+}  // namespace axihc

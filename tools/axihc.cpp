@@ -2,6 +2,7 @@
 //
 //   axihc <config.ini> [--cycles N] [--trace-out f.json]
 //         [--metrics-out f.csv] [--sample-every N] [--no-fast-forward]
+//         [--threads N] [--no-parallel-tick] [--digest]
 //   axihc --example            # print a ready-to-edit sample config
 //
 // See src/config/system_builder.hpp for the full config reference.
@@ -50,7 +51,8 @@ trace_capacity = 0            ; max retained events; 0 = unbounded
 void usage() {
   std::cerr << "usage: axihc <config.ini> [--cycles N] [--trace-out f.json]\n"
                "             [--metrics-out f.csv] [--sample-every N]\n"
-               "             [--no-fast-forward]\n"
+               "             [--no-fast-forward] [--threads N]\n"
+               "             [--no-parallel-tick] [--digest]\n"
                "       axihc --example > experiment.ini\n";
 }
 
@@ -71,6 +73,9 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   axihc::Cycle sample_every = 0;  // 0 = keep the config's value
   bool fast_forward = true;
+  unsigned threads = 0;  // 0 = serial kernel
+  bool parallel_tick = true;
+  bool print_digest = false;
   for (int i = 2; i < argc; ++i) {
     const bool has_value = i + 1 < argc;
     if (std::strcmp(argv[i], "--cycles") == 0 && has_value) {
@@ -83,6 +88,12 @@ int main(int argc, char** argv) {
       sample_every = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--no-fast-forward") == 0) {
       fast_forward = false;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && has_value) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (std::strcmp(argv[i], "--no-parallel-tick") == 0) {
+      parallel_tick = false;
+    } else if (std::strcmp(argv[i], "--digest") == 0) {
+      print_digest = true;
     }
   }
 
@@ -105,9 +116,20 @@ int main(int argc, char** argv) {
     // Kernel fast-forward is on by default and bit-exact; --no-fast-forward
     // forces the naive one-tick-per-cycle loop (kernel debugging aid).
     system->soc().sim().set_fast_forward(fast_forward);
+    // --threads N (>= 2) selects the island-partitioned parallel tick
+    // engine, bit-identical to the serial kernel; 0/1 and
+    // --no-parallel-tick run the serial kernel.
+    system->soc().sim().set_threads(threads);
+    system->soc().sim().set_parallel_tick(parallel_tick);
 
     system->run(override_cycles);
     std::cout << system->report();
+    if (print_digest) {
+      // Machine-checkable bit-identity: equal configs must print equal
+      // digests at any --threads / fast-forward setting.
+      std::cout << "state_digest: " << std::hex
+                << system->soc().sim().state_digest() << std::dec << "\n";
+    }
 
     if (!trace_out.empty()) {
       std::ofstream out(trace_out);
