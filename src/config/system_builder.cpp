@@ -1,8 +1,10 @@
 #include "config/system_builder.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "hyperconnect/config.hpp"
 #include "obs/chrome_trace.hpp"
 #include "stats/table.hpp"
 
@@ -72,6 +74,13 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
   // Bounded address decode: accesses beyond mem_bytes get DECERR.
   const std::uint64_t mem_bytes = system->get_u64("mem_bytes", 0);
   if (mem_bytes != 0) cfg.mem.mapped_ranges.push_back({0, mem_bytes});
+
+  // [memN] sections: additional decode-map entries (base/bytes) for
+  // scattered mapped regions. The lint address-map check flags overlaps.
+  for (const IniSection* ms : ini.sections_with_prefix("mem")) {
+    cfg.mem.mapped_ranges.push_back(
+        {ms->get_u64("base", 0), ms->get_u64("bytes", 0)});
+  }
 
   if (const IniSection* hc = ini.section("hyperconnect")) {
     cfg.hc.nominal_burst =
@@ -224,6 +233,14 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.write_base = section.get_u64("write_base", 0x2000'0000 +
                                                        (Addr{port} << 26));
     cfg.tolerate_out_of_order = ooo;
+    if (cfg.mode != DmaMode::kWrite) {
+      lint_windows_.push_back(
+          {name + " read buffer", {cfg.read_base, cfg.bytes_per_job}});
+    }
+    if (cfg.mode != DmaMode::kRead) {
+      lint_windows_.push_back(
+          {name + " write buffer", {cfg.write_base, cfg.bytes_per_job}});
+    }
     masters_.push_back(
         std::make_unique<DmaEngine>(name, link, cfg));
   } else if (type == "traffic") {
@@ -236,6 +253,7 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.qos = static_cast<std::uint8_t>(section.get_u64("qos", 0));
     cfg.base = section.get_u64("base", 0x4000'0000 + (Addr{port} << 26));
     cfg.tolerate_out_of_order = ooo;
+    lint_windows_.push_back({name + " region", {cfg.base, cfg.region_bytes}});
     masters_.push_back(
         std::make_unique<TrafficGenerator>(name, link, cfg));
   } else if (type == "dnn") {
@@ -252,6 +270,16 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.macs_per_cycle = section.get_u64("macs_per_cycle", 256);
     cfg.max_frames = section.get_u64("max_frames", 0);
     cfg.tolerate_out_of_order = ooo;
+    std::uint64_t load_max = 0;
+    std::uint64_t store_max = 0;
+    for (const DnnLayer& l : cfg.layers) {
+      load_max = std::max(load_max, l.weight_bytes + l.ifmap_bytes);
+      store_max = std::max(store_max, l.ofmap_bytes);
+    }
+    lint_windows_.push_back(
+        {name + " weight/ifmap buffer", {cfg.weight_base, load_max}});
+    lint_windows_.push_back(
+        {name + " ofmap buffer", {cfg.buffer_base, store_max}});
     masters_.push_back(
         std::make_unique<DnnAccelerator>(name, link, cfg));
   } else {
@@ -286,6 +314,42 @@ const FaultInjector& ConfiguredSystem::injector(std::size_t i) const {
 const std::string& ConfiguredSystem::ha_type(std::size_t i) const {
   AXIHC_CHECK(i < ha_types_.size());
   return ha_types_[i];
+}
+
+LintReport ConfiguredSystem::lint() const {
+  const SocConfig& cfg = soc_->config();
+  DesignRuleChecker drc(soc_->sim());
+
+  for (const AddrRange& r : cfg.mem.mapped_ranges) {
+    drc.add_address_range("memory decode map", r, AddressKind::kDecode);
+  }
+  for (const AddrRange& r : cfg.mem.slverr_ranges) {
+    drc.add_address_range("SLVERR window", r, AddressKind::kErrorWindow);
+  }
+  for (const LintWindow& w : lint_windows_) {
+    drc.add_address_range(w.owner, w.range, AddressKind::kMasterWindow);
+  }
+
+  const bool ooo =
+      cfg.kind == InterconnectKind::kHyperConnect && cfg.hc.out_of_order;
+  for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+    AxiLink& port_link = soc_->port(p);
+    drc.expect_connected(port_link,
+                         "interconnect port " + std::to_string(p));
+    if (ooo) {
+      drc.require_id_headroom(
+          port_link, kIdPortShift,
+          "the ID-extension (port index packed above bit " +
+              std::to_string(kIdPortShift) + ")");
+    }
+  }
+  drc.expect_connected(soc_->interconnect().master_link(),
+                       "FPGA-PS master link");
+  for (const auto& fl : fault_links_) {
+    drc.expect_connected(*fl, "fault-injector HA-side link");
+  }
+
+  return drc.run();
 }
 
 std::string ConfiguredSystem::report() const {

@@ -54,6 +54,7 @@
 #include "ha/dma_engine.hpp"
 #include "ha/dnn_accelerator.hpp"
 #include "ha/traffic_gen.hpp"
+#include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "sim/trace.hpp"
@@ -92,6 +93,12 @@ class ConfiguredSystem {
 
   /// Renders the per-HA statistics table (markdown).
   [[nodiscard]] std::string report() const;
+
+  /// Runs the design-rule checker (src/lint) over the elaborated system:
+  /// port/master-link connectivity, decode map vs HA job windows, ID
+  /// headroom under the out-of-order ID-extension, and — in instrumented
+  /// builds after a run — the access-ledger contract checks.
+  [[nodiscard]] LintReport lint() const;
 
   /// The parsed fault scenario ([faultN] sections; empty when none).
   [[nodiscard]] const FaultScenario& fault_scenario() const {
@@ -132,8 +139,16 @@ class ConfiguredSystem {
   /// targets this port.
   AxiLink& attach_port(PortIndex port);
 
+  /// An address window an HA was configured to master (recorded by add_ha
+  /// for the lint address-map checks).
+  struct LintWindow {
+    std::string owner;
+    AddrRange range;
+  };
+
   Platform platform_;
   Cycle configured_cycles_ = 1'000'000;
+  std::vector<LintWindow> lint_windows_;
   std::unique_ptr<SocSystem> soc_;
   std::vector<std::unique_ptr<AxiMasterBase>> masters_;
   std::vector<std::string> ha_types_;

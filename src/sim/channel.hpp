@@ -72,6 +72,25 @@ class ChannelBase {
     return endpoints_;
   }
 
+  /// Access ledger (axihc-lint): distinct components observed touching this
+  /// channel while the phase checker was armed. Always empty in builds
+  /// without AXIHC_PHASE_CHECK — the design-rule checker cross-checks it
+  /// against endpoints() to find undeclared accesses.
+#ifdef AXIHC_PHASE_CHECK
+  [[nodiscard]] const std::vector<const Component*>& observed_accessors()
+      const {
+    return ledger_accessors_;
+  }
+  void clear_observed_accessors() { ledger_accessors_.clear(); }
+#else
+  [[nodiscard]] const std::vector<const Component*>& observed_accessors()
+      const {
+    static const std::vector<const Component*> kEmpty;
+    return kEmpty;
+  }
+  void clear_observed_accessors() {}
+#endif
+
   [[nodiscard]] const std::string& name() const { return name_; }
 
  protected:
@@ -96,11 +115,40 @@ class ChannelBase {
   /// commit() implementations call this so a later change re-enqueues.
   void clear_dirty() { dirty_ = false; }
 
+  // Phase-checker hooks (see sim/phase_check.hpp). Instrumented builds
+  // outline them into phase_check.cpp; default builds compile them away, so
+  // the hot channel methods carry zero overhead. Const so the read-side
+  // hooks can be called from const accessors (the ledger state is mutable).
+#ifdef AXIHC_PHASE_CHECK
+  void ledger_on_read() const;   // pop/front: consumes committed state
+  void ledger_on_peek() const;   // occupancy reads (can_push/can_pop/...)
+  void ledger_on_write() const;  // push
+  void ledger_on_commit() const;
+  void ledger_on_flush() const;  // clear_contents
+
  private:
+  void ledger_note_accessor() const;
+#else
+  void ledger_on_read() const {}
+  void ledger_on_peek() const {}
+  void ledger_on_write() const {}
+  void ledger_on_commit() const {}
+  void ledger_on_flush() const {}
+
+ private:
+#endif
   friend class Simulator;
 
   std::string name_;
   std::vector<const Component*> endpoints_;
+#ifdef AXIHC_PHASE_CHECK
+  // Phase-checker state (sim/phase_check.hpp). Compiled out of the default
+  // build along with the hooks, so uninstrumented channels carry neither
+  // per-access nor footprint overhead. Mutable: read-side hooks record from
+  // const accessors.
+  mutable std::vector<const Component*> ledger_accessors_;
+  mutable std::uint64_t ledger_commit_epoch_ = 0;
+#endif
   // Commit list this channel enqueues itself on: the Simulator's main dirty
   // list, or (island engine) its island's local list. Null when standalone.
   std::vector<ChannelBase*>* dirty_list_ = nullptr;
@@ -121,11 +169,13 @@ class TimingChannel final : public ChannelBase {
 
   /// True if the producer may push this cycle (backpressure check).
   [[nodiscard]] bool can_push() const {
+    ledger_on_peek();
     return snapshot_ + staged_ < capacity_;
   }
 
   /// Stages `value` for delivery next cycle. Requires can_push().
   void push(T value) {
+    ledger_on_write();
     AXIHC_CHECK_MSG(can_push(), "push on full channel '" << name() << "'");
     slots_[wrap(head_ + committed_ + staged_)] = std::move(value);
     ++staged_;
@@ -134,18 +184,26 @@ class TimingChannel final : public ChannelBase {
   }
 
   /// True if the consumer can pop a (previously committed) element.
-  [[nodiscard]] bool can_pop() const { return committed_ != 0; }
+  [[nodiscard]] bool can_pop() const {
+    ledger_on_peek();
+    return committed_ != 0;
+  }
 
-  [[nodiscard]] bool empty() const { return committed_ == 0; }
+  [[nodiscard]] bool empty() const {
+    ledger_on_peek();
+    return committed_ == 0;
+  }
 
   /// Oldest committed element. Requires can_pop().
   [[nodiscard]] const T& front() const {
+    ledger_on_read();
     AXIHC_CHECK_MSG(can_pop(), "front on empty channel '" << name() << "'");
     return slots_[head_];
   }
 
   /// Removes and returns the oldest committed element. Requires can_pop().
   T pop() {
+    ledger_on_read();
     AXIHC_CHECK_MSG(can_pop(), "pop on empty channel '" << name() << "'");
     T value = std::move(slots_[head_]);
     head_ = wrap(head_ + 1);
@@ -156,14 +214,24 @@ class TimingChannel final : public ChannelBase {
   }
 
   /// Committed elements currently queued (in-flight occupancy).
-  [[nodiscard]] std::size_t size() const { return committed_; }
+  [[nodiscard]] std::size_t size() const {
+    ledger_on_peek();
+    return committed_;
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Lifetime traffic counters (used by throughput probes).
-  [[nodiscard]] std::uint64_t total_pushes() const { return total_pushes_; }
-  [[nodiscard]] std::uint64_t total_pops() const { return total_pops_; }
+  [[nodiscard]] std::uint64_t total_pushes() const {
+    ledger_on_peek();
+    return total_pushes_;
+  }
+  [[nodiscard]] std::uint64_t total_pops() const {
+    ledger_on_peek();
+    return total_pops_;
+  }
 
   void commit() override {
+    ledger_on_commit();
     committed_ += staged_;
     staged_ = 0;
     snapshot_ = committed_;
@@ -192,6 +260,7 @@ class TimingChannel final : public ChannelBase {
   /// A no-op on an already-empty channel, so continuous flushing (a
   /// decoupled port) does not keep marking the channel dirty.
   void clear_contents() {
+    ledger_on_flush();
     if (committed_ == 0 && staged_ == 0 && snapshot_ == 0) return;
     head_ = 0;
     committed_ = 0;

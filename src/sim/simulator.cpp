@@ -1,6 +1,19 @@
 #include "sim/simulator.hpp"
 
+#include "sim/phase_check.hpp"
 #include "sim/worker_pool.hpp"
+
+// Phase-race detector stamps (sim/phase_check.hpp): the engine marks which
+// phase of the cycle it is in and which component is ticking, so channel
+// accesses can be checked against the two-phase discipline. Compiled away
+// entirely in builds without AXIHC_PHASE_CHECK.
+#ifdef AXIHC_PHASE_CHECK
+#define AXIHC_STAMP_PHASE(p) ::axihc::PhaseCheck::set_phase(::axihc::EnginePhase::p)
+#define AXIHC_STAMP_CURRENT(c) ::axihc::PhaseCheck::set_current(c)
+#else
+#define AXIHC_STAMP_PHASE(p) ((void)0)
+#define AXIHC_STAMP_CURRENT(c) ((void)0)
+#endif
 
 namespace axihc {
 
@@ -94,13 +107,20 @@ void Simulator::step() {
 }
 
 void Simulator::step_serial() {
-  for (auto* c : components_) c->tick(now_);
+  AXIHC_STAMP_PHASE(kCompute);
+  for (auto* c : components_) {
+    AXIHC_STAMP_CURRENT(c);
+    c->tick(now_);
+  }
+  AXIHC_STAMP_CURRENT(nullptr);
   // Quiet cycles (no push/pop/flush anywhere) are the precondition for even
   // attempting a fast-forward next cycle: busy fabrics touch channels nearly
   // every cycle, so this keeps the next_activity scan off the hot path.
   last_step_quiet_ = dirty_.empty();
+  AXIHC_STAMP_PHASE(kCommit);
   for (auto* ch : dirty_) ch->commit();
   dirty_.clear();
+  AXIHC_STAMP_PHASE(kOutside);
   ++now_;
   ++epoch_;
 }
@@ -109,15 +129,21 @@ void Simulator::tick_island(Island& island, bool stage_traces) {
   if (!stage_traces) {
     // No trace in the process is enabled: record sites are dead, so skip
     // the thread-local sink install and per-component sequence tagging.
-    for (auto* c : island.components) c->tick(now_);
+    for (auto* c : island.components) {
+      AXIHC_STAMP_CURRENT(c);
+      c->tick(now_);
+    }
+    AXIHC_STAMP_CURRENT(nullptr);
     return;
   }
   TraceStagingBuffer::install(&island.staging);
   const std::size_t n = island.components.size();
   for (std::size_t k = 0; k < n; ++k) {
     TraceStagingBuffer::set_sequence(island.seq[k]);
+    AXIHC_STAMP_CURRENT(island.components[k]);
     island.components[k]->tick(now_);
   }
+  AXIHC_STAMP_CURRENT(nullptr);
   TraceStagingBuffer::install(nullptr);
 }
 
@@ -132,6 +158,7 @@ void Simulator::step_islands() {
   if (nw > ni) nw = static_cast<unsigned>(ni);
   if (WorkerPool::on_pool_thread()) nw = 1;  // nested inside a sweep job
   const bool stage_traces = EventTrace::any_enabled();
+  AXIHC_STAMP_PHASE(kCompute);
   if (nw <= 1) {
     for (auto& isl : islands) tick_island(isl, stage_traces);
   } else {
@@ -161,12 +188,14 @@ void Simulator::step_islands() {
   bool quiet = dirty_.empty();
   for (auto& isl : islands) quiet = quiet && isl.dirty.empty();
   last_step_quiet_ = quiet;
+  AXIHC_STAMP_PHASE(kCommit);
   for (auto& isl : islands) {
     for (auto* ch : isl.dirty) ch->commit();
     isl.dirty.clear();
   }
   for (auto* ch : dirty_) ch->commit();
   dirty_.clear();
+  AXIHC_STAMP_PHASE(kOutside);
   ++now_;
   ++epoch_;
 }

@@ -95,6 +95,16 @@ class Simulator {
 
   [[nodiscard]] Cycle now() const { return now_; }
 
+  /// Registered graph, in registration order (read-only). The design-rule
+  /// checker (src/lint) walks these to cross-check endpoint declarations,
+  /// island scopes and connectivity after elaboration.
+  [[nodiscard]] const std::vector<Component*>& components() const {
+    return components_;
+  }
+  [[nodiscard]] const std::vector<ChannelBase*>& channels() const {
+    return channels_;
+  }
+
  private:
   /// One step toward `deadline`: first jumps `now_` across a quiescent
   /// stretch when every component certifies one, then steps one cycle

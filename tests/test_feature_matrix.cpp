@@ -111,14 +111,14 @@ INSTANTIATE_TEST_SUITE_P(
     AllCombos, FeatureMatrix,
     ::testing::Combine(::testing::Bool(), ::testing::Bool(),
                        ::testing::Bool(), ::testing::Bool()),
-    [](const auto& info) {
+    [](const auto& param_info) {
       // No structured bindings here: commas inside [..] would split the
       // macro's arguments.
       std::string name;
-      name += std::get<0>(info.param) ? "ooo_" : "inorder_";
-      name += std::get<1>(info.param) ? "res_" : "nores_";
-      name += std::get<2>(info.param) ? "eq_" : "noeq_";
-      name += std::get<3>(info.param) ? "qos" : "rr";
+      name += std::get<0>(param_info.param) ? "ooo_" : "inorder_";
+      name += std::get<1>(param_info.param) ? "res_" : "nores_";
+      name += std::get<2>(param_info.param) ? "eq_" : "noeq_";
+      name += std::get<3>(param_info.param) ? "qos" : "rr";
       return name;
     });
 

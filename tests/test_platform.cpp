@@ -81,8 +81,8 @@ TEST_P(PlatformShape, EqualizationFairnessShapeHoldsOnBothBoards) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Boards, PlatformShape, ::testing::Bool(),
-                         [](const auto& info) {
-                           return info.param ? "zcu102" : "zynq7020";
+                         [](const auto& param_info) {
+                           return param_info.param ? "zcu102" : "zynq7020";
                          });
 
 }  // namespace

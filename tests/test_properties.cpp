@@ -106,10 +106,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 3, 4),
                        ::testing::Values<BeatCount>(1, 4, 16, 64),
                        ::testing::Values<BeatCount>(4, 16)),
-    [](const auto& info) {
-      return "p" + std::to_string(std::get<0>(info.param)) + "_b" +
-             std::to_string(std::get<1>(info.param)) + "_n" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return "p" + std::to_string(std::get<0>(param_info.param)) + "_b" +
+             std::to_string(std::get<1>(param_info.param)) + "_n" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 class BudgetPropertyTest

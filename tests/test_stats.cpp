@@ -55,9 +55,9 @@ TEST(LatencyStats, SortCacheSurvivesQueriesAndInvalidatesOnRecord) {
 
 TEST(LatencyStats, EmptyThrows) {
   LatencyStats s;
-  EXPECT_THROW(s.min(), ModelError);
-  EXPECT_THROW(s.mean(), ModelError);
-  EXPECT_THROW(s.percentile(50), ModelError);
+  EXPECT_THROW((void)s.min(), ModelError);
+  EXPECT_THROW((void)s.mean(), ModelError);
+  EXPECT_THROW((void)s.percentile(50), ModelError);
 }
 
 TEST(RateMeter, ConvertsToPerSecond) {

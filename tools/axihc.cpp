@@ -3,7 +3,15 @@
 //   axihc <config.ini> [--cycles N] [--trace-out f.json]
 //         [--metrics-out f.csv] [--sample-every N] [--no-fast-forward]
 //         [--threads N] [--no-parallel-tick] [--digest]
+//   axihc <config.ini> --lint [--lint-strict] [--lint-json f.json]
 //   axihc --example            # print a ready-to-edit sample config
+//
+// --lint elaborates the system, runs the design-rule checker (src/lint) and
+// exits nonzero when any error-severity finding is present. In builds
+// configured with -DAXIHC_PHASE_CHECK=ON it first runs a short simulation
+// (the --cycles value, or 20000) on the serial kernel with the channel
+// instrumentation armed, so the ledger-backed checks (undeclared endpoints,
+// island-scope violations, two-phase races) have accesses to audit.
 //
 // See src/config/system_builder.hpp for the full config reference.
 #include <cstring>
@@ -14,6 +22,7 @@
 
 #include "common/check.hpp"
 #include "config/system_builder.hpp"
+#include "sim/phase_check.hpp"
 
 namespace {
 
@@ -53,6 +62,8 @@ void usage() {
                "             [--metrics-out f.csv] [--sample-every N]\n"
                "             [--no-fast-forward] [--threads N]\n"
                "             [--no-parallel-tick] [--digest]\n"
+               "       axihc <config.ini> --lint [--lint-strict]\n"
+               "             [--lint-json f.json]\n"
                "       axihc --example > experiment.ini\n";
 }
 
@@ -76,6 +87,9 @@ int main(int argc, char** argv) {
   unsigned threads = 0;  // 0 = serial kernel
   bool parallel_tick = true;
   bool print_digest = false;
+  bool lint_mode = false;
+  bool lint_strict = false;
+  std::string lint_json;
   for (int i = 2; i < argc; ++i) {
     const bool has_value = i + 1 < argc;
     if (std::strcmp(argv[i], "--cycles") == 0 && has_value) {
@@ -94,6 +108,14 @@ int main(int argc, char** argv) {
       parallel_tick = false;
     } else if (std::strcmp(argv[i], "--digest") == 0) {
       print_digest = true;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      lint_mode = true;
+    } else if (std::strcmp(argv[i], "--lint-strict") == 0) {
+      lint_mode = true;
+      lint_strict = true;
+    } else if (std::strcmp(argv[i], "--lint-json") == 0 && has_value) {
+      lint_mode = true;
+      lint_json = argv[++i];
     }
   }
 
@@ -107,6 +129,34 @@ int main(int argc, char** argv) {
 
   try {
     auto system = axihc::build_system(text.str());
+
+    if (lint_mode) {
+      if (axihc::kPhaseCheckAvailable) {
+        // Populate the access ledger: short armed run on the serial kernel
+        // (the checks cover exactly what ran, and serial keeps the ledger
+        // race-free even for the broken systems lint exists to catch).
+        axihc::PhaseCheck::arm(true);
+        system->soc().sim().set_threads(0);
+        system->run(override_cycles != 0 ? override_cycles : 20000);
+      }
+      const axihc::LintReport report = system->lint();
+      report.write_text(std::cout);
+      if (!lint_json.empty()) {
+        std::ofstream out(lint_json);
+        if (!out) {
+          std::cerr << "axihc: cannot write '" << lint_json << "'\n";
+          return 1;
+        }
+        report.write_json(out);
+        std::cerr << "axihc: wrote lint report to " << lint_json << "\n";
+      }
+      const bool failed =
+          report.has_errors() ||
+          (lint_strict &&
+           report.count(axihc::LintSeverity::kWarning) != 0);
+      return failed ? 1 : 0;
+    }
+
     // CLI flags layer on top of the [observe] section: an output file turns
     // the corresponding half on, --sample-every overrides the period.
     axihc::ObserveConfig& obs = system->observe_config();

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Source-level contract scanner for the axihc component model (lint layer 3).
+
+AST-free (regex + brace matching) checks over src/**/*.hpp + the matching
+.cpp files, complementing the runtime access ledger (which only audits code
+that actually executed) with whole-source coverage:
+
+  explicit-tick-scope   every class deriving (transitively) from Component
+                        must override tick_scope() somewhere in its
+                        inheritance chain below Component itself. The default
+                        is a safe kSerial, but an *implicit* default means
+                        nobody decided — the parallel-tick contract requires
+                        an explicit, auditable answer.
+
+  endpoint-declaration  every Component subclass that owns TimingChannel or
+                        AxiLink members must call add_endpoint()/
+                        attach_endpoint() somewhere in its header or
+                        implementation file, so the island partitioner sees
+                        the edges to its channels.
+
+Suppressions (put the comment inside the class body):
+  // contracts: allow-default-scope   -- the implicit kSerial is intentional
+  // contracts: allow-no-endpoint     -- channels are private plumbing that
+                                         no island partition needs to see
+
+Exit code: number of violations (0 = clean). Run from anywhere:
+  python3 tools/lint/check_contracts.py [--root <repo>]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
+    r"(?::\s*([^{;]+?))?\s*\{",
+    re.DOTALL,
+)
+BASE_RE = re.compile(r"(?:public|protected|private|virtual|\s)*([A-Za-z_]\w*)")
+# An owned channel member: TimingChannel<...> / AxiLink by value, or wrapped
+# in unique_ptr / containers. Pointer/reference members are foreign state.
+OWNED_CHANNEL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?:TimingChannel\s*<[^;]*>\s*(?!\s*[*&])[A-Za-z_]\w*\s*[;{=]"
+    r"|AxiLink\s+[A-Za-z_]\w*\s*[;{=]"
+    r"|std::(?:vector|array|deque)\s*<\s*(?:std::unique_ptr\s*<\s*)?"
+    r"(?:TimingChannel\s*<[^;]*?>|AxiLink)\s*>?\s*>\s*[A-Za-z_]\w*\s*[;{=]"
+    r"|std::unique_ptr\s*<\s*(?:TimingChannel\s*<[^;]*?>|AxiLink)\s*>\s*"
+    r"[A-Za-z_]\w*\s*[;{=])"
+)
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments (keeps line structure for matching)."""
+    text = re.sub(r"/\*.*?\*/", lambda m: re.sub(r"[^\n]", " ", m.group(0)),
+                  text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def class_bodies(text: str):
+    """Yields (name, bases, body) for each top-ish class in `text`.
+
+    `text` must be comment-stripped; bodies are extracted by brace matching
+    from the declaration's opening brace. Nested classes are reported too
+    (harmless: they rarely derive from Component).
+    """
+    for m in CLASS_RE.finditer(text):
+        name, base_list = m.group(1), m.group(2) or ""
+        bases = []
+        for chunk in base_list.split(","):
+            bm = BASE_RE.match(chunk.strip())
+            if bm:
+                bases.append(bm.group(1))
+        depth = 0
+        start = m.end() - 1
+        for i in range(start, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield name, bases, text[start:i + 1]
+                    break
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parents[2]
+    src = root / "src"
+    if not src.is_dir():
+        print(f"check_contracts: no src/ under {root}", file=sys.stderr)
+        return 1
+
+    headers = sorted(src.rglob("*.hpp"))
+    raw_texts = {p: p.read_text(encoding="utf-8") for p in headers}
+
+    # Pass 1: the class graph and per-class facts.
+    bases_of: dict[str, list[str]] = {}
+    body_of: dict[str, str] = {}
+    file_of: dict[str, pathlib.Path] = {}
+    for path, raw in raw_texts.items():
+        for name, bases, body in class_bodies(strip_comments(raw)):
+            if name in bases_of:
+                continue  # first definition wins; duplicates are rare
+            bases_of[name] = bases
+            body_of[name] = body
+            file_of[name] = path
+
+    def derives_from_component(name: str, seen=None) -> bool:
+        if seen is None:
+            seen = set()
+        if name in seen:
+            return False
+        seen.add(name)
+        for b in bases_of.get(name, []):
+            if b == "Component" or derives_from_component(b, seen):
+                return True
+        return False
+
+    def chain_declares_tick_scope(name: str) -> bool:
+        if "tick_scope" in body_of.get(name, ""):
+            return True
+        return any(b != "Component" and chain_declares_tick_scope(b)
+                   for b in bases_of.get(name, []))
+
+    def raw_body(name: str) -> str:
+        """The class body with comments intact (suppression markers)."""
+        raw = raw_texts[file_of[name]]
+        for n, _, body in class_bodies(raw):
+            if n == name:
+                return body
+        return ""
+
+    def impl_text(name: str) -> str:
+        """Header text + the sibling .cpp of the class's header, if any."""
+        path = file_of[name]
+        text = raw_texts[path]
+        cpp = path.with_suffix(".cpp")
+        if cpp.exists():
+            text += cpp.read_text(encoding="utf-8")
+        return text
+
+    violations = 0
+    components = sorted(n for n in bases_of if derives_from_component(n))
+    for name in components:
+        rel = file_of[name].relative_to(root)
+        marker_body = raw_body(name)
+
+        if not chain_declares_tick_scope(name):
+            if "contracts: allow-default-scope" not in marker_body:
+                violations += 1
+                print(f"{rel}: class {name}: no tick_scope() override "
+                      f"anywhere in its inheritance chain — state the "
+                      f"parallel-tick contract explicitly (kSerial is fine, "
+                      f"implicit is not)")
+
+        owns_channels = any(OWNED_CHANNEL_RE.match(line)
+                            for line in body_of[name].splitlines())
+        if owns_channels:
+            text = impl_text(name)
+            if ("add_endpoint" not in text and "attach_endpoint" not in text
+                    and "contracts: allow-no-endpoint" not in marker_body):
+                violations += 1
+                print(f"{rel}: class {name}: owns TimingChannel/AxiLink "
+                      f"members but never calls add_endpoint()/"
+                      f"attach_endpoint() — the island partitioner cannot "
+                      f"see its channel edges")
+
+    print(f"check_contracts: {len(components)} Component subclass(es), "
+          f"{violations} violation(s)")
+    return violations
+
+
+if __name__ == "__main__":
+    sys.exit(main())
