@@ -10,19 +10,16 @@
 // 4x-scaled workload: same shapes, minutes -> seconds.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstdint>
-#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "ha/dma_engine.hpp"
 #include "ha/dnn_accelerator.hpp"
-#include "sim/worker_pool.hpp"
+#include "sim/parallel_jobs.hpp"
 #include "soc/soc.hpp"
 #include "stats/stats.hpp"
 #include "stats/table.hpp"
@@ -103,44 +100,17 @@ inline double rate_per_second(const std::vector<Cycle>& completions) {
 }
 
 /// Worker threads for run_parallel: AXIHC_BENCH_THREADS overrides (0 or
-/// unset = one per hardware thread).
-inline unsigned bench_threads() {
-  if (const char* env = std::getenv("AXIHC_BENCH_THREADS")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n > 0) return static_cast<unsigned>(n);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+/// unset = one per hardware thread). Shared with the campaign runner —
+/// see sim/parallel_jobs.hpp.
+inline unsigned bench_threads() { return parallel_job_threads(); }
 
 /// Runs independent scenario jobs across the shared worker pool and returns
 /// their results in job order (the printed sweep is identical to a serial
-/// run). Each job must own its entire simulation (Simulator, SocSystem, HAs,
-/// stores) — simulations share no mutable state, which is what makes the
-/// sweep embarrassingly parallel AND deterministic per job.
-///
-/// Sweeps and the island tick engine draw from the SAME pool
-/// (sim/worker_pool.hpp): a simulation running set_threads(n) inside a
-/// sweep job executes its islands inline instead of oversubscribing, so
-/// total parallelism is capped by one pool either way.
+/// run). Thin alias of run_parallel_jobs (sim/parallel_jobs.hpp), kept so
+/// benches read as before.
 template <typename Result>
 std::vector<Result> run_parallel(std::vector<std::function<Result()>> jobs) {
-  std::vector<Result> results(jobs.size());
-  const unsigned threads =
-      std::min<unsigned>(bench_threads(),
-                         static_cast<unsigned>(jobs.size()));
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = jobs[i]();
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  WorkerPool::shared().run_tasks(threads, [&](unsigned) {
-    for (std::size_t i = next.fetch_add(1); i < jobs.size();
-         i = next.fetch_add(1)) {
-      results[i] = jobs[i]();
-    }
-  });
-  return results;
+  return run_parallel_jobs<Result>(std::move(jobs));
 }
 
 inline void print_header(const std::string& title, std::uint64_t scale) {

@@ -1,7 +1,9 @@
 #include "config/system_builder.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
+#include <utility>
 
 #include "common/check.hpp"
 #include "hyperconnect/config.hpp"
@@ -50,6 +52,16 @@ std::vector<DnnLayer> network_by_name(const std::string& name) {
 }  // namespace
 
 ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
+  build(ini, nullptr);
+}
+
+ConfiguredSystem::ConfiguredSystem(const IniFile& ini,
+                                   const FaultScenario& scenario) {
+  build(ini, &scenario);
+}
+
+void ConfiguredSystem::build(const IniFile& ini,
+                             const FaultScenario* scenario_override) {
   const IniSection* system = ini.section("system");
   AXIHC_CHECK_MSG(system != nullptr, "config needs a [system] section");
 
@@ -101,30 +113,42 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
   }
 
   // [faultN] sections: mem_slverr windows configure the memory controller;
-  // everything else becomes an injector fault spec.
-  scenario_.seed = system->get_u64("fault_seed", 0);
-  for (const IniSection* fs : ini.sections_with_prefix("fault")) {
-    const std::string kind = fs->get_string("kind", "");
-    if (kind == "mem_slverr") {
-      cfg.mem.slverr_ranges.push_back(
-          {fs->get_u64("base", 0), fs->get_u64("bytes", 4096)});
-      continue;
+  // everything else becomes an injector fault spec. A scenario override
+  // (campaign runs) replaces the file's fault description wholesale.
+  if (scenario_override != nullptr) {
+    AXIHC_CHECK_MSG(ini.sections_with_prefix("fault").empty(),
+                    "a scenario override replaces all [faultN] sections — "
+                    "remove them from the base config");
+    for (const FaultSpec& spec : scenario_override->faults) {
+      AXIHC_CHECK_MSG(spec.port < cfg.num_ports,
+                      "scenario fault port " << spec.port << " out of range");
     }
-    const auto parsed = fault_kind_from_string(kind);
-    AXIHC_CHECK_MSG(parsed.has_value(),
-                    "[" << fs->name() << "] unknown fault kind '" << kind
-                        << "'");
-    FaultSpec spec;
-    spec.kind = *parsed;
-    spec.port = static_cast<PortIndex>(fs->get_u64("port", 0));
-    AXIHC_CHECK_MSG(spec.port < cfg.num_ports,
-                    "[" << fs->name() << "] port " << spec.port
-                        << " out of range");
-    spec.start = fs->get_u64("start", 0);
-    spec.duration = fs->get_u64("duration", 0);
-    spec.param = fs->get_u64("param", 0);
-    spec.probability = fs->get_double("probability", 1.0);
-    scenario_.faults.push_back(spec);
+    scenario_ = *scenario_override;
+  } else {
+    scenario_.seed = system->get_u64("fault_seed", 0);
+    for (const IniSection* fs : ini.sections_with_prefix("fault")) {
+      const std::string kind = fs->get_string("kind", "");
+      if (kind == "mem_slverr") {
+        cfg.mem.slverr_ranges.push_back(
+            {fs->get_u64("base", 0), fs->get_u64("bytes", 4096)});
+        continue;
+      }
+      const auto parsed = fault_kind_from_string(kind);
+      AXIHC_CHECK_MSG(parsed.has_value(),
+                      "[" << fs->name() << "] unknown fault kind '" << kind
+                          << "'");
+      FaultSpec spec;
+      spec.kind = *parsed;
+      spec.port = static_cast<PortIndex>(fs->get_u64("port", 0));
+      AXIHC_CHECK_MSG(spec.port < cfg.num_ports,
+                      "[" << fs->name() << "] port " << spec.port
+                          << " out of range");
+      spec.start = fs->get_u64("start", 0);
+      spec.duration = fs->get_u64("duration", 0);
+      spec.param = fs->get_u64("param", 0);
+      spec.probability = fs->get_double("probability", 1.0);
+      scenario_.faults.push_back(spec);
+    }
   }
 
   soc_ = std::make_unique<SocSystem>(cfg);
@@ -140,6 +164,15 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
     add_ha(*ha_sections[port], port);
   }
 
+  // [recovery] wants the masters built (the HA-reset hook targets them), so
+  // it wires after the HA loop.
+  if (const IniSection* rec = ini.section("recovery")) {
+    AXIHC_CHECK_MSG(cfg.kind == InterconnectKind::kHyperConnect,
+                    "[recovery] requires interconnect = hyperconnect "
+                    "(the stack drives the HyperConnect control interface)");
+    wire_recovery(*rec);
+  }
+
   if (const IniSection* obs = ini.section("observe")) {
     observe_.trace = obs->get_bool("trace", false);
     observe_.metrics = obs->get_bool("metrics", false);
@@ -151,6 +184,57 @@ ConfiguredSystem::ConfiguredSystem(const IniFile& ini) {
   }
 
   soc_->sim().reset();
+}
+
+void ConfiguredSystem::wire_recovery(const IniSection& rec) {
+  HyperConnect* hc = soc_->hyperconnect();
+  AXIHC_CHECK(hc != nullptr);
+  const std::uint32_t num_ports = soc_->config().num_ports;
+
+  register_master_ =
+      std::make_unique<RegisterMaster>("hv_rm", hc->control_link());
+  driver_ = std::make_unique<HyperConnectDriver>(*register_master_,
+                                                 num_ports);
+  hypervisor_ = std::make_unique<Hypervisor>("hv", *driver_);
+
+  RecoveryPolicy pol;
+  pol.backoff_base = rec.get_u64("backoff_base", 1000);
+  pol.backoff_max = rec.get_u64("backoff_max", 16000);
+  pol.probation_window = rec.get_u64("probation_window", 2000);
+  pol.max_attempts =
+      static_cast<std::uint32_t>(rec.get_u64("max_attempts", 4));
+  pol.drain_timeout = rec.get_u64("drain_timeout", 4000);
+  recovery_ = std::make_unique<RecoveryManager>("recovery", *driver_, pol);
+  hypervisor_->set_recovery(recovery_.get());
+
+  // Baseline split = the [hyperconnect] budgets the hardware was built with
+  // (missing entries are 0 = unthrottled); graceful degradation defends it.
+  std::vector<std::uint32_t> baseline = soc_->config().hc.initial_budgets;
+  baseline.resize(num_ports, 0);
+  recovery_->set_baseline_budgets(baseline);
+
+  // DPR-style HA reset at the FSM's Resetting step: abandon everything the
+  // accelerator still has in flight (the flushed link will never deliver
+  // those responses) and restart its job engine.
+  recovery_->set_ha_reset([this](PortIndex p) {
+    if (p < masters_.size()) masters_[p]->abandon_in_flight();
+  });
+
+  WatchdogPolicy wd;
+  recovery_poll_period_ = rec.get_u64("poll_period", 500);
+  AXIHC_CHECK_MSG(recovery_poll_period_ >= 1,
+                  "[recovery] poll_period must be >= 1");
+  recovery_probation_window_ = pol.probation_window;
+  wd.poll_period = recovery_poll_period_;
+  wd.max_txns_per_poll.assign(num_ports,
+                              rec.get_u64("max_txns_per_poll", 0));
+  wd.auto_isolate = true;
+  wd.isolate_on_fault = true;
+  hypervisor_->set_watchdog(std::move(wd));
+
+  soc_->add(*register_master_);
+  soc_->add(*hypervisor_);
+  soc_->add(*recovery_);
 }
 
 void ConfiguredSystem::wire_observability() {
@@ -167,6 +251,14 @@ void ConfiguredSystem::wire_observability() {
   for (auto& m : masters_) {
     m->set_trace(&trace_);
     m->register_metrics(registry_);
+  }
+  if (hypervisor_) {
+    hypervisor_->set_trace(&trace_);
+    hypervisor_->register_metrics(registry_);
+  }
+  if (recovery_) {
+    recovery_->set_trace(&trace_);
+    recovery_->register_metrics(registry_);
   }
 
   // APM-style probe on the FPGA-PS link; its window is the sample period so
@@ -349,7 +441,28 @@ LintReport ConfiguredSystem::lint() const {
     drc.expect_connected(*fl, "fault-injector HA-side link");
   }
 
-  return drc.run();
+  LintReport report = drc.run();
+
+  // Recovery-loop timing rule: a probation window shorter than the watchdog
+  // poll period promotes a recoupled port straight back to Healthy at the
+  // first post-recouple poll — before a single fault observation could
+  // demote it, defeating probation entirely.
+  if (recovery_ != nullptr &&
+      recovery_probation_window_ < recovery_poll_period_) {
+    std::ostringstream msg;
+    msg << "probation_window (" << recovery_probation_window_
+        << " cycles) is shorter than the watchdog poll_period ("
+        << recovery_poll_period_
+        << " cycles): a recoupled port is promoted back to Healthy at the "
+           "first poll, before any new fault could be observed";
+    report.add({LintSeverity::kWarning, "recovery-probation-window",
+                "[recovery]", msg.str(),
+                "raise probation_window to at least one poll_period "
+                "(several, to observe real traffic before trusting the "
+                "port)"});
+  }
+
+  return report;
 }
 
 std::string ConfiguredSystem::report() const {

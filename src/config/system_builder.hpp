@@ -31,6 +31,15 @@
 //   start = 2000
 //   duration = 0                     ; 0 = forever
 //
+//   [recovery]                       ; optional closed-loop fault recovery
+//   poll_period = 500                ; watchdog poll period (cycles)
+//   max_txns_per_poll = 0            ; overrun threshold, all ports; 0 = off
+//   backoff_base = 1000              ; first quarantine wait (cycles)
+//   backoff_max = 16000              ; backoff doubling ceiling
+//   probation_window = 2000          ; fault-free cycles to count recovered
+//   max_attempts = 4                 ; re-couple attempts before permanent
+//   drain_timeout = 4000             ; max wait for INFLIGHT == 0
+//
 //   [observe]                        ; optional observability layer
 //   trace = true                     ; record typed events (Chrome trace)
 //   metrics = true                   ; sample the metrics registry
@@ -43,6 +52,11 @@
 // injectors; [system] mem_bytes bounds the decoded address space (accesses
 // beyond it get DECERR); [hyperconnect] prot_timeout arms the per-port
 // protection units.
+//
+// A [recovery] section (hyperconnect only) assembles the full software
+// stack behind the control interface — RegisterMaster, driver, Hypervisor
+// watchdog, RecoveryManager — so detected faults start closed-loop recovery
+// episodes (src/recovery) instead of permanently retiring the port.
 #pragma once
 
 #include <memory>
@@ -50,13 +64,16 @@
 #include <vector>
 
 #include "config/ini.hpp"
+#include "driver/register_master.hpp"
 #include "fault/fault_injector.hpp"
 #include "ha/dma_engine.hpp"
 #include "ha/dnn_accelerator.hpp"
 #include "ha/traffic_gen.hpp"
+#include "hypervisor/hypervisor.hpp"
 #include "lint/lint.hpp"
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
+#include "recovery/recovery_manager.hpp"
 #include "sim/trace.hpp"
 #include "soc/soc.hpp"
 #include "stats/bandwidth_probe.hpp"
@@ -80,6 +97,11 @@ struct ObserveConfig {
 class ConfiguredSystem {
  public:
   explicit ConfiguredSystem(const IniFile& ini);
+
+  /// Builds the system with `scenario` instead of the file's [faultN]
+  /// sections and fault_seed — the campaign runner's entry point (each run
+  /// reuses one base description under a generated scenario).
+  ConfiguredSystem(const IniFile& ini, const FaultScenario& scenario);
 
   /// Runs for the configured [system] cycles (or `override_cycles` if
   /// nonzero) and returns the simulated cycle count.
@@ -109,6 +131,16 @@ class ConfiguredSystem {
   }
   [[nodiscard]] const FaultInjector& injector(std::size_t i) const;
 
+  /// The [recovery] software stack, or nullptr when the section is absent.
+  [[nodiscard]] Hypervisor* hypervisor() { return hypervisor_.get(); }
+  [[nodiscard]] const Hypervisor* hypervisor() const {
+    return hypervisor_.get();
+  }
+  [[nodiscard]] RecoveryManager* recovery() { return recovery_.get(); }
+  [[nodiscard]] const RecoveryManager* recovery() const {
+    return recovery_.get();
+  }
+
   /// Mutable observability settings. Changes only take effect before the
   /// first run() call (the layer is wired lazily on first run).
   [[nodiscard]] ObserveConfig& observe_config() { return observe_; }
@@ -129,11 +161,16 @@ class ConfiguredSystem {
   void write_metrics_csv(std::ostream& os) const;
 
  private:
+  /// Shared constructor body; `scenario_override` (campaign runs) replaces
+  /// the file's [faultN] sections and fault_seed.
+  void build(const IniFile& ini, const FaultScenario* scenario_override);
   /// Hands the trace to every instrumented component, registers all
   /// metrics, and attaches the APM probe + sampler. Called once, from the
   /// first run() with observability requested.
   void wire_observability();
   void add_ha(const IniSection& section, PortIndex port);
+  /// Assembles the [recovery] hypervisor stack on the control link.
+  void wire_recovery(const IniSection& rec);
   /// The link the HA on `port` should master: the interconnect port itself,
   /// or a fresh intermediate link behind a FaultInjector when the scenario
   /// targets this port.
@@ -155,6 +192,14 @@ class ConfiguredSystem {
   FaultScenario scenario_;
   std::vector<std::unique_ptr<AxiLink>> fault_links_;
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
+
+  // [recovery] stack (all null when the section is absent).
+  std::unique_ptr<RegisterMaster> register_master_;
+  std::unique_ptr<HyperConnectDriver> driver_;
+  std::unique_ptr<Hypervisor> hypervisor_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  Cycle recovery_poll_period_ = 0;
+  Cycle recovery_probation_window_ = 0;
 
   ObserveConfig observe_;
   bool observability_wired_ = false;

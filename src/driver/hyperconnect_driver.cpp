@@ -90,4 +90,10 @@ void HyperConnectDriver::read_fault_cycle(PortIndex port,
   rm_.read_reg(hcregs::fault_cycle(port), std::move(cb));
 }
 
+void HyperConnectDriver::read_inflight(PortIndex port,
+                                       RegisterMaster::ReadCallback cb) {
+  check_port(port);
+  rm_.read_reg(hcregs::inflight(port), std::move(cb));
+}
+
 }  // namespace axihc

@@ -46,6 +46,8 @@ class HyperConnectDriver {
   void read_fault_count(PortIndex port, RegisterMaster::ReadCallback cb);
   /// Cycle of the most recent fault on this port.
   void read_fault_cycle(PortIndex port, RegisterMaster::ReadCallback cb);
+  /// Sub-transactions of this port still pending downstream; 0 = drained.
+  void read_inflight(PortIndex port, RegisterMaster::ReadCallback cb);
 
   /// All queued configuration traffic has completed.
   [[nodiscard]] bool idle() const { return rm_.idle(); }

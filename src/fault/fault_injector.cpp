@@ -19,6 +19,7 @@ FaultInjector::FaultInjector(std::string name, AxiLink& ha_side,
   for (const FaultSpec& f : scenario.faults) {
     if (f.port == port_) faults_.push_back(f);
   }
+  stats_.effective_seed = seed_;
   ha_.attach_endpoint(*this);
   bus_.attach_endpoint(*this);
 }
@@ -42,6 +43,7 @@ void FaultInjector::reset() {
   w_bursts_.clear();
   w_hold_left_ = 0;
   stats_ = FaultInjectorStats{};
+  stats_.effective_seed = seed_;
 }
 
 bool FaultInjector::stalled(FaultKind kind, Cycle now) const {

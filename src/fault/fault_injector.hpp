@@ -32,6 +32,11 @@ namespace axihc {
 
 /// Event counters of one injector (what it actually did, for assertions).
 struct FaultInjectorStats {
+  /// The seed this injector's RNG actually ran with (scenario.seed mixed
+  /// with the port index). Recorded so any observed fault pattern — e.g. a
+  /// failing campaign row — is replayable as a single axihc invocation with
+  /// [system] fault_seed set to the scenario seed it derives from.
+  std::uint64_t effective_seed = 0;
   std::uint64_t ar_stalled = 0;  // cycles an AR forward was suppressed
   std::uint64_t aw_stalled = 0;
   std::uint64_t w_stalled = 0;

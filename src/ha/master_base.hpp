@@ -40,9 +40,17 @@ struct MasterStats {
   std::uint64_t bytes_written = 0;
   /// Completions carrying an error response (SLVERR/DECERR). Failed
   /// transactions are also counted in *_completed: they terminate normally
-  /// at the protocol level, the error is in the response code.
+  /// at the protocol level, the error is in the response code. Transactions
+  /// abandoned by abandon_in_flight() (port decoupled under the HA) are
+  /// counted here too, but never complete.
   std::uint64_t reads_failed = 0;
   std::uint64_t writes_failed = 0;
+  /// Responses that matched no in-flight transaction and were sunk. Zero in
+  /// a healthy system; nonzero after a recovery reset, when responses for
+  /// abandoned transactions arrive at a master that no longer knows them
+  /// (the decoupler cannot shield the HA once the port is recoupled).
+  std::uint64_t stray_r_beats = 0;
+  std::uint64_t stray_b_resps = 0;
   LatencyStats read_latency;   // AR issue -> final R beat
   LatencyStats write_latency;  // AW issue -> B response
 };
@@ -57,6 +65,15 @@ class AxiMasterBase : public Component {
                 bool allow_out_of_order = false);
 
   void reset() override;
+
+  /// Abandons every in-flight transaction and restarts the job engine,
+  /// keeping the cumulative statistics. This is the software-visible HA
+  /// reset of the recovery loop: while its port was decoupled the
+  /// interconnect grounded the HA's signals, so responses for anything
+  /// in flight will never arrive — exactly as under dynamic partial
+  /// reconfiguration, the HA is reset before the hypervisor recouples the
+  /// port. Abandoned transactions count as failed.
+  void abandon_in_flight();
 
   [[nodiscard]] const MasterStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t outstanding_reads() const {
@@ -154,7 +171,9 @@ class AxiMasterBase : public Component {
 
   TxnId next_id();
   /// Index in reads_in_flight_ the R beat belongs to (0 when in-order;
-  /// ID-matched when out-of-order is allowed).
+  /// ID-matched when out-of-order is allowed). kStraySlot when the beat
+  /// matches nothing in flight — a stale response to a reset master.
+  static constexpr std::size_t kStraySlot = static_cast<std::size_t>(-1);
   std::size_t read_slot_for(const RBeat& beat);
   std::size_t write_slot_for(const BResp& resp);
 

@@ -38,9 +38,18 @@ HyperConnect::HyperConnect(std::string name, HyperConnectConfig cfg)
       regfile_(runtime_,
                [this](PortIndex i) {
                  return ts_[i]->subtransactions_issued();
+               },
+               [this](PortIndex i) {
+                 // Sub-transactions still pending downstream: the PU's live
+                 // records. Zero means the port is fully drained — safe to
+                 // reset/recouple (the recovery FSM's Draining gate).
+                 return static_cast<std::uint64_t>(pu_[i]->reads().size() +
+                                                   pu_[i]->writes().size());
                }),
       control_link_(Component::name() + ".ctrl", cfg.control_link_cfg) {
   AXIHC_CHECK(cfg_.max_outstanding >= 1);
+  owed_r_.resize(cfg_.num_ports);
+  owed_b_.resize(cfg_.num_ports);
   efifos_.reserve(cfg_.num_ports);
   for (PortIndex i = 0; i < cfg_.num_ports; ++i) {
     efifos_.emplace_back(port_link(i));
@@ -82,6 +91,8 @@ void HyperConnect::reset() {
   for (PortIndex i = 0; i < num_ports(); ++i) {
     efifos_[i].set_coupled(true);
     efifos_[i].set_faulted(false);
+    owed_r_[i].clear();
+    owed_b_[i].clear();
     mutable_counters(i) = PortCounters{};
   }
 }
@@ -99,6 +110,10 @@ void HyperConnect::append_digest(StateDigest& d) const {
   for (PortIndex i = 0; i < num_ports(); ++i) {
     d.mix(static_cast<std::uint64_t>(efifos_[i].coupled()) |
           (static_cast<std::uint64_t>(efifos_[i].faulted()) << 1));
+    d.mix(static_cast<std::uint64_t>(owed_r_[i].size()));
+    for (const RBeat& beat : owed_r_[i]) d.mix(beat.id);
+    d.mix(static_cast<std::uint64_t>(owed_b_[i].size()));
+    for (const BResp& resp : owed_b_[i]) d.mix(resp.id);
   }
 }
 
@@ -202,6 +217,14 @@ void HyperConnect::tick_central_unit(Cycle now) {
       link.r.clear_contents();
       link.b.clear_contents();
       ts_[i]->abort_pending_issue();
+      // Undelivered synthesized completions die with the decouple (the HA
+      // is reset before the port recouples); account for them.
+      for (std::size_t n = owed_r_[i].size() + owed_b_[i].size(); n != 0;
+           --n) {
+        pu_[i]->count_synth_drop();
+      }
+      owed_r_[i].clear();
+      owed_b_[i].clear();
     }
     efifos_[i].set_coupled(want);
 
@@ -281,51 +304,37 @@ void HyperConnect::trigger_fault(PortIndex i, FaultCause cause, Cycle now) {
                    << " faulted (cause " << static_cast<int>(cause)
                    << ") — isolating and synthesizing SLVERR completions";
 
-  // Ground the request side with a one-time flush. R/B are flushed too but
-  // NOT continuously (unlike decoupling), so the completions synthesized
-  // below stay deliverable to the HA.
+  // Ground the request side with a one-time flush. R/B contents are KEPT:
+  // beats already queued toward the HA belong to sub-transactions that may
+  // have retired their records — dropping them would erase completions the
+  // HA is still owed (it would then see the next transaction's completion
+  // while waiting on the current one: a protocol violation on an in-order
+  // port, a wedge on any port).
   AxiLink& link = port_link(i);
   link.ar.clear_contents();
   link.aw.clear_contents();
   link.w.clear_contents();
-  link.r.clear_contents();
-  link.b.clear_contents();
 
   // Synthesize a terminal SLVERR completion for every HA transaction that
   // still owes one: in-flight final sub-bursts, plus the transaction being
   // split (its final sub-request never went downstream). The PU/TS records
   // are kept — in-flight sub-bursts still complete downstream (read data is
   // dropped at the faulted port, granted writes are zero-filled) and retire
-  // their records, so the merge bookkeeping stays consistent.
+  // their records, so the merge bookkeeping stays consistent. Completions
+  // go through the owed queues (drained in tick() as R/B capacity frees,
+  // behind whatever legitimate beats were kept above), so none is ever
+  // dropped on a full queue.
   for (const auto& rec : pu_[i]->reads()) {
-    if (!rec.is_final) continue;
-    if (link.r.can_push()) {
-      link.r.push({rec.id, 0, true, Resp::kSlvErr});
-    } else {
-      pu_[i]->count_synth_drop();
-    }
+    if (rec.is_final) owed_r_[i].push_back({rec.id, 0, true, Resp::kSlvErr});
   }
   if (const auto id = ts_[i]->active_read_id()) {
-    if (link.r.can_push()) {
-      link.r.push({*id, 0, true, Resp::kSlvErr});
-    } else {
-      pu_[i]->count_synth_drop();
-    }
+    owed_r_[i].push_back({*id, 0, true, Resp::kSlvErr});
   }
   for (const auto& rec : pu_[i]->writes()) {
-    if (!rec.is_final) continue;
-    if (link.b.can_push()) {
-      link.b.push({rec.id, Resp::kSlvErr});
-    } else {
-      pu_[i]->count_synth_drop();
-    }
+    if (rec.is_final) owed_b_[i].push_back({rec.id, Resp::kSlvErr});
   }
   if (const auto id = ts_[i]->active_write_id()) {
-    if (link.b.can_push()) {
-      link.b.push({*id, Resp::kSlvErr});
-    } else {
-      pu_[i]->count_synth_drop();
-    }
+    owed_b_[i].push_back({*id, Resp::kSlvErr});
   }
   ts_[i]->abort_pending_issue();
   pu_[i]->clear_stalls();
@@ -482,6 +491,9 @@ Cycle HyperConnect::next_activity(Cycle now) const {
         return now;
       }
     }
+    // Owed synthesized completions wait for R/B capacity (or, decoupled,
+    // for the central unit to discard them).
+    if (!owed_r_[i].empty() || !owed_b_[i].empty()) return now;
     // TS output stages feeding the EXBAR.
     if (ts_ar_[i]->can_pop() || ts_aw_[i]->can_pop()) return now;
     // Protection unit: in-flight records age and stall counters accumulate
@@ -514,6 +526,21 @@ void HyperConnect::tick(Cycle now) {
   // Protection units: evaluate the stall/age observations accumulated by
   // the data paths up to the previous cycle, before this cycle's traffic.
   tick_protection(now);
+
+  // Deliver owed synthesized completions as R/B capacity frees. Runs before
+  // the data paths so owed beats always land ahead of any newer traffic.
+  for (PortIndex i = 0; i < num_ports(); ++i) {
+    if (!efifos_[i].coupled()) continue;
+    AxiLink& link = port_link(i);
+    while (!owed_r_[i].empty() && link.r.can_push()) {
+      link.r.push(owed_r_[i].front());
+      owed_r_[i].pop_front();
+    }
+    while (!owed_b_[i].empty() && link.b.can_push()) {
+      link.b.push(owed_b_[i].front());
+      owed_b_[i].pop_front();
+    }
+  }
 
   // Proactive data/response paths (no added latency).
   tick_r_path();

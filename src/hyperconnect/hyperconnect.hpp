@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -118,6 +119,15 @@ class HyperConnect final : public Interconnect {
   TimingChannel<AddrReq> xbar_ar_;
   TimingChannel<AddrReq> xbar_aw_;
   Exbar exbar_;
+
+  // Synthesized SLVERR completions a faulted port still owes its HA but
+  // could not push immediately (full R/B queue at fault time). Drained into
+  // the port link as capacity frees, so a completion is never silently
+  // dropped — a lost completion wedges the HA forever on an in-flight
+  // transaction. Discarded (and counted as synth drops) when the port is
+  // decoupled: the HA behind a decoupled port is reset before recoupling.
+  std::vector<std::deque<RBeat>> owed_r_;
+  std::vector<std::deque<BResp>> owed_b_;
 
   std::vector<std::uint32_t> budget_left_;
   std::uint64_t recharges_ = 0;

@@ -7,8 +7,11 @@
 namespace axihc {
 
 HcRegisterFile::HcRegisterFile(
-    HcRuntime& runtime, std::function<std::uint64_t(PortIndex)> txn_count_fn)
-    : runtime_(runtime), txn_count_fn_(std::move(txn_count_fn)) {
+    HcRuntime& runtime, std::function<std::uint64_t(PortIndex)> txn_count_fn,
+    std::function<std::uint64_t(PortIndex)> inflight_fn)
+    : runtime_(runtime),
+      txn_count_fn_(std::move(txn_count_fn)),
+      inflight_fn_(std::move(inflight_fn)) {
   AXIHC_CHECK(txn_count_fn_ != nullptr);
   AXIHC_CHECK(runtime_.budgets.size() == runtime_.coupled.size());
 }
@@ -109,6 +112,12 @@ std::uint64_t HcRegisterFile::read(Addr offset) const {
     const auto i =
         static_cast<PortIndex>((offset - kFaultCycleBase) / kRegStride);
     return runtime_.fault[i].last_cycle;
+  }
+  if (offset >= kInflightBase &&
+      offset < kInflightBase + kRegStride * num_ports()) {
+    const auto i =
+        static_cast<PortIndex>((offset - kInflightBase) / kRegStride);
+    return inflight_fn_ ? inflight_fn_(i) : 0;
   }
   return 0;
 }

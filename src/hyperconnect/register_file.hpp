@@ -23,6 +23,9 @@
 //                                  and re-arms the port
 //   0x500 + 8*i FAULT_COUNT[i]  ro faults latched on port i since reset
 //   0x600 + 8*i FAULT_CYCLE[i]  ro cycle of port i's most recent fault
+//   0x700 + 8*i INFLIGHT[i]     ro sub-transactions of port i still pending
+//                                  downstream (reads + writes); the recovery
+//                                  FSM's drain gate
 #pragma once
 
 #include <cstdint>
@@ -46,6 +49,7 @@ inline constexpr Addr kTxnCountBase = 0x300;
 inline constexpr Addr kFaultStatusBase = 0x400;
 inline constexpr Addr kFaultCountBase = 0x500;
 inline constexpr Addr kFaultCycleBase = 0x600;
+inline constexpr Addr kInflightBase = 0x700;
 inline constexpr Addr kRegStride = 8;
 
 inline constexpr std::uint64_t kIdValue = 0xA81C0001;
@@ -72,19 +76,26 @@ inline constexpr std::uint32_t kFaultStatusCauseShift = 1;
 [[nodiscard]] inline Addr fault_cycle(PortIndex i) {
   return kFaultCycleBase + kRegStride * i;
 }
+[[nodiscard]] inline Addr inflight(PortIndex i) {
+  return kInflightBase + kRegStride * i;
+}
 
 }  // namespace axihc::hcregs
 
 namespace axihc {
 
 /// Decodes register reads/writes against the HcRuntime it supervises.
-/// TXN_COUNT reads are served through a callback into the TS counters.
+/// TXN_COUNT and INFLIGHT reads are served through callbacks into the
+/// TS/PU counters.
 class HcRegisterFile {
  public:
   /// `runtime` is borrowed (owned by the HyperConnect). `txn_count_fn`
-  /// returns the sub-transaction count of a port.
+  /// returns the sub-transaction count of a port; `inflight_fn` the number
+  /// of its sub-transactions still pending downstream (nullptr reads as 0 —
+  /// register-file unit tests don't model the protection units).
   HcRegisterFile(HcRuntime& runtime,
-                 std::function<std::uint64_t(PortIndex)> txn_count_fn);
+                 std::function<std::uint64_t(PortIndex)> txn_count_fn,
+                 std::function<std::uint64_t(PortIndex)> inflight_fn = {});
 
   /// Applies a register write. Unknown/read-only offsets are ignored
   /// (hardware-style: writes to RO registers have no effect) but counted.
@@ -104,6 +115,7 @@ class HcRegisterFile {
 
   HcRuntime& runtime_;
   std::function<std::uint64_t(PortIndex)> txn_count_fn_;
+  std::function<std::uint64_t(PortIndex)> inflight_fn_;
   std::uint64_t ignored_writes_ = 0;
 };
 

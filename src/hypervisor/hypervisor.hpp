@@ -8,7 +8,9 @@
 //    port that exceeds its policed rate (misbehaving/faulty HA detection,
 //    §V-A "Decoupling from the memory subsystem");
 //  * supports explicit isolate/restore of whole domains (e.g. around
-//    dynamic partial reconfiguration).
+//    dynamic partial reconfiguration);
+//  * optionally drives a RecoveryManager (src/recovery) so a detected fault
+//    starts a closed-loop recovery episode instead of retiring the port.
 //
 // All configuration travels over the control bus through the driver — the
 // hypervisor never back-doors the hardware state.
@@ -27,6 +29,8 @@
 
 namespace axihc {
 
+class RecoveryManager;
+
 struct WatchdogPolicy {
   /// Poll period in cycles; 0 disables the watchdog.
   Cycle poll_period = 0;
@@ -37,7 +41,10 @@ struct WatchdogPolicy {
   bool auto_isolate = true;
   /// Also read each port's FAULT_STATUS register at every poll; on a latched
   /// fault, formally decouple the port (the hardware protection unit has
-  /// already quarantined it) and acknowledge the fault so the unit re-arms.
+  /// already quarantined it). Without a RecoveryManager the fault is then
+  /// acknowledged and the port stays retired; with one (set_recovery) the
+  /// acknowledgment is deferred to the recovery FSM's Resetting step, which
+  /// re-arms the protection unit just before recoupling.
   bool isolate_on_fault = true;
 };
 
@@ -77,6 +84,14 @@ class Hypervisor final : public Component {
 
   void set_watchdog(WatchdogPolicy policy);
 
+  /// Attaches a recovery manager: instead of retiring a faulty/overrunning
+  /// port forever, the watchdog hands it to the manager's per-port FSM
+  /// (quarantine -> drain -> reset -> probation), and each poll additionally
+  /// reads FAULT_COUNT (new-fault detection survives a latched status) and
+  /// INFLIGHT (the drain gate). nullptr detaches (legacy retire-on-fault
+  /// behavior).
+  void set_recovery(RecoveryManager* recovery);
+
   /// Decouples / recouples every port of a domain.
   void isolate_domain(std::size_t domain_index);
   void restore_domain(std::size_t domain_index);
@@ -113,6 +128,8 @@ class Hypervisor final : public Component {
   /// currently isolated) with `reg`.
   void register_metrics(MetricsRegistry& reg);
 
+  void append_digest(StateDigest& d) const override;
+
  private:
   void poll_counters(Cycle now);
   [[nodiscard]] bool tracing() const {
@@ -120,12 +137,17 @@ class Hypervisor final : public Component {
   }
 
   HyperConnectDriver& driver_;
+  RecoveryManager* recovery_ = nullptr;
   std::vector<Domain> domains_;
   WatchdogPolicy watchdog_{};
   std::vector<bool> isolated_;
   std::vector<std::uint64_t> last_txn_count_;
+  std::vector<std::uint64_t> last_fault_count_;
   std::vector<std::optional<std::uint64_t>> poll_results_;
   std::vector<std::optional<std::uint64_t>> fault_results_;
+  // Extra per-poll reads issued only with a recovery manager attached.
+  std::vector<std::optional<std::uint64_t>> fault_count_results_;
+  std::vector<std::optional<std::uint64_t>> inflight_results_;
   Cycle next_poll_ = 0;
   bool poll_in_flight_ = false;
   std::vector<IsolationEvent> events_;

@@ -28,6 +28,11 @@
 //   lint-coverage           note: ledger checks skipped (uninstrumented
 //                           build or no armed run)
 //
+// ConfiguredSystem::lint() appends configuration-level rules on top:
+//   recovery-probation-window  [recovery] probation_window shorter than the
+//                              watchdog poll_period (probation can never
+//                              observe a fault before promoting the port)
+//
 // Severities: kError findings fail `axihc --lint` (nonzero exit); kWarning
 // findings are reported but pass; kNote is informational.
 #pragma once

@@ -1,0 +1,62 @@
+// Shared-nothing job fan-out over the worker pool — the engine behind the
+// bench sweeps (bench/bench_common.hpp) and the fault-campaign runner
+// (src/campaign).
+//
+// Each job must own its entire simulation (Simulator, SocSystem, HAs,
+// stores): simulations share no mutable state, which is what makes a sweep
+// embarrassingly parallel AND deterministic per job. Results come back in
+// job order, so the aggregate output of a parallel sweep is byte-identical
+// to a serial run.
+//
+// Jobs and the island tick engine draw from the SAME pool
+// (sim/worker_pool.hpp): a simulation running set_threads(n) inside a job
+// executes its islands inline instead of oversubscribing, so total
+// parallelism is capped by one pool either way.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/worker_pool.hpp"
+
+namespace axihc {
+
+/// Worker threads for run_parallel_jobs: AXIHC_BENCH_THREADS overrides
+/// (0 or unset = one per hardware thread).
+inline unsigned parallel_job_threads() {
+  if (const char* env = std::getenv("AXIHC_BENCH_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Runs independent jobs across the shared worker pool and returns their
+/// results in job order.
+template <typename Result>
+std::vector<Result> run_parallel_jobs(
+    std::vector<std::function<Result()>> jobs) {
+  std::vector<Result> results(jobs.size());
+  const unsigned threads =
+      std::min<unsigned>(parallel_job_threads(),
+                         static_cast<unsigned>(jobs.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = jobs[i]();
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  WorkerPool::shared().run_tasks(threads, [&](unsigned) {
+    for (std::size_t i = next.fetch_add(1); i < jobs.size();
+         i = next.fetch_add(1)) {
+      results[i] = jobs[i]();
+    }
+  });
+  return results;
+}
+
+}  // namespace axihc

@@ -4,7 +4,16 @@
 //         [--metrics-out f.csv] [--sample-every N] [--no-fast-forward]
 //         [--threads N] [--no-parallel-tick] [--digest]
 //   axihc <config.ini> --lint [--lint-strict] [--lint-json f.json]
+//   axihc <spec.ini> --campaign [--campaign-out f.jsonl]
+//   axihc <spec.ini> --campaign --campaign-replay N
 //   axihc --example            # print a ready-to-edit sample config
+//
+// --campaign runs the Monte Carlo fault campaign described by the file's
+// [campaign] section (src/campaign): seeded randomized fault mixes against
+// the base system's recovery stack, JSON-lines survivability metrics on
+// stdout (or --campaign-out). Exits nonzero when any run ends with a
+// non-converged recovery FSM or a budget-conservation violation.
+// --campaign-replay N prints a standalone config reproducing run N.
 //
 // --lint elaborates the system, runs the design-rule checker (src/lint) and
 // exits nonzero when any error-severity finding is present. In builds
@@ -20,6 +29,7 @@
 #include <sstream>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "common/check.hpp"
 #include "config/system_builder.hpp"
 #include "sim/phase_check.hpp"
@@ -64,6 +74,8 @@ void usage() {
                "             [--no-parallel-tick] [--digest]\n"
                "       axihc <config.ini> --lint [--lint-strict]\n"
                "             [--lint-json f.json]\n"
+               "       axihc <spec.ini> --campaign [--campaign-out f.jsonl]\n"
+               "       axihc <spec.ini> --campaign --campaign-replay N\n"
                "       axihc --example > experiment.ini\n";
 }
 
@@ -90,6 +102,9 @@ int main(int argc, char** argv) {
   bool lint_mode = false;
   bool lint_strict = false;
   std::string lint_json;
+  bool campaign_mode = false;
+  std::string campaign_out;
+  long long campaign_replay = -1;
   for (int i = 2; i < argc; ++i) {
     const bool has_value = i + 1 < argc;
     if (std::strcmp(argv[i], "--cycles") == 0 && has_value) {
@@ -116,6 +131,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--lint-json") == 0 && has_value) {
       lint_mode = true;
       lint_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--campaign") == 0) {
+      campaign_mode = true;
+    } else if (std::strcmp(argv[i], "--campaign-out") == 0 && has_value) {
+      campaign_mode = true;
+      campaign_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--campaign-replay") == 0 && has_value) {
+      campaign_mode = true;
+      campaign_replay = std::strtoll(argv[++i], nullptr, 0);
     }
   }
 
@@ -128,6 +151,37 @@ int main(int argc, char** argv) {
   text << file.rdbuf();
 
   try {
+    if (campaign_mode) {
+      const axihc::IniFile ini = axihc::IniFile::parse(text.str());
+      if (campaign_replay >= 0) {
+        std::cout << axihc::campaign_replay_ini(
+            ini, static_cast<std::uint64_t>(campaign_replay));
+        return 0;
+      }
+      const axihc::CampaignOutput out = axihc::run_campaign(ini);
+      std::ofstream out_file;
+      if (!campaign_out.empty()) {
+        out_file.open(campaign_out);
+        if (!out_file) {
+          std::cerr << "axihc: cannot write '" << campaign_out << "'\n";
+          return 1;
+        }
+      }
+      std::ostream& os = campaign_out.empty() ? std::cout : out_file;
+      for (const std::string& line : out.lines) os << line << "\n";
+      std::cerr << "axihc: campaign: " << (out.lines.size() - 1)
+                << " runs, " << out.total_recoveries << " recoveries, "
+                << out.total_escalations << " escalations, "
+                << out.non_converged << " non-converged, "
+                << out.conservation_violations
+                << " budget-conservation violations\n";
+      if (!campaign_out.empty()) {
+        std::cerr << "axihc: wrote campaign results to " << campaign_out
+                  << "\n";
+      }
+      return out.ok() ? 0 : 1;
+    }
+
     auto system = axihc::build_system(text.str());
 
     if (lint_mode) {
