@@ -11,6 +11,7 @@
 #include "hypervisor/domain.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/memory_controller.hpp"
+#include "obs/latency_audit.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -154,6 +155,91 @@ void BM_ObsIdleAttached(benchmark::State& state) {
   obs_cost_system(state, true);
 }
 BENCHMARK(BM_ObsIdleAttached);
+
+// Latency-auditor cost pair, same contract as the trace/metrics pair above:
+// detached (nullptr, the compiled-out-cheap default) vs attached to every
+// hook site but disabled. Every hook early-returns on the enabled flag, so
+// the attached-idle system must stay within noise (< 2%, CI-gated) of the
+// detached one.
+void audit_cost_system(benchmark::State& state, bool attach_idle_audit) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+  std::vector<std::unique_ptr<DmaEngine>> dmas;
+  for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+    DmaConfig d;
+    d.mode = DmaMode::kReadWrite;
+    d.bytes_per_job = 1u << 20;
+    dmas.push_back(std::make_unique<DmaEngine>("dma" + std::to_string(p),
+                                               hc.port_link(p), d));
+    sim.add(*dmas.back());
+  }
+  LatencyAudit audit(cfg.num_ports, 1024);  // default-disabled
+  if (attach_idle_audit) {
+    hc.set_latency_audit(&audit);
+    mem.set_latency_audit(&audit);
+    for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+      dmas[p]->set_latency_audit(&audit, p);
+    }
+  }
+  sim.reset();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_AuditOff(benchmark::State& state) {
+  audit_cost_system(state, false);
+}
+BENCHMARK(BM_AuditOff);
+
+void BM_AuditIdleAttached(benchmark::State& state) {
+  audit_cost_system(state, true);
+}
+BENCHMARK(BM_AuditIdleAttached);
+
+// The full enabled auditor on the same system — bound model, histograms,
+// flight ring, stall classifier. Not CI-gated (enabling it is an explicit
+// opt-in), reported so the cost of `--latency-audit` is a number, not a
+// guess.
+void BM_AuditEnabled(benchmark::State& state) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+  std::vector<std::unique_ptr<DmaEngine>> dmas;
+  for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+    DmaConfig d;
+    d.mode = DmaMode::kReadWrite;
+    d.bytes_per_job = 1u << 20;
+    dmas.push_back(std::make_unique<DmaEngine>("dma" + std::to_string(p),
+                                               hc.port_link(p), d));
+    sim.add(*dmas.back());
+  }
+  LatencyAudit audit(cfg.num_ports, 1024);
+  audit.set_enabled(true);
+  hc.set_latency_audit(&audit);
+  mem.set_latency_audit(&audit);
+  for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+    dmas[p]->set_latency_audit(&audit, p);
+  }
+  sim.reset();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AuditEnabled);
 
 // Parallel tick engine scaling: a widened fig5-class topology — several
 // independent HC+DDR+DMA subsystems in one Simulator — so the island

@@ -92,32 +92,78 @@ bool reservation_feasible(const HcAnalysisConfig& cfg,
   return demand <= cfg.reservation_period;
 }
 
-Cycle wcrt_read(const HcAnalysisConfig& cfg, const AnalysisPlatform& p,
-                PortIndex port, BeatCount beats) {
+namespace {
+
+/// Shared body of wcrt_read/wcrt_write once the direction-specific pipeline
+/// latency is known.
+Cycle wcrt_core(const HcAnalysisConfig& cfg, const AnalysisPlatform& p,
+                PortIndex port, BeatCount beats, Cycle pipeline) {
   AXIHC_CHECK(cfg.num_ports >= 1);
-  const Cycle pipeline = p.ar_latency + p.r_latency;
-  if (cfg.reservation_period != 0 && reservation_feasible(cfg, p)) {
-    // With reservation active the request may arrive with the port's OWN
-    // budget exhausted (worst-case phasing), so the round-robin bound does
-    // not apply; the supply bound is the sound one.
+  if (cfg.reservation_period != 0) {
+    const std::uint32_t subs = sub_transaction_count(cfg, beats);
+    if (reservation_feasible(cfg, p)) {
+      // With reservation active the request may arrive with the port's OWN
+      // budget exhausted (worst-case phasing), so the round-robin bound does
+      // not apply; the supply bound is the sound one.
+      return pipeline +
+             with_refresh(p, reservation_supply_bound(cfg, port, subs) +
+                                 service_bound(p, competitor_unit_beats(cfg)));
+    }
+    if (cfg.budgets.at(port) > 0) {
+      // Infeasible plan: a period cannot serve every port's budget, so the
+      // round-robin bound alone is UNSOUND for a throttled port (its own
+      // budget can gate it past any arbitration-only bound). Compose the
+      // supply bound (budget phasing) with the full arbitration-and-service
+      // term (competitors are no longer confined to their budgets either).
+      return pipeline +
+             with_refresh(p, reservation_supply_bound(cfg, port, subs) +
+                                 arbitration_and_service_bound(cfg, p, beats));
+    }
+    // Zero budget under reservation: the port is never served; no finite
+    // bound is meaningful, fall through to round-robin for continuity.
+  }
+  return pipeline +
+         with_refresh(p, arbitration_and_service_bound(cfg, p, beats));
+}
+
+/// Audit-bound body: reservation on always takes the composite
+/// supply + arbitration form (see header for why the live auditor cannot
+/// use the idle-own-port wcrt bound directly).
+Cycle audit_wcrt_core(const HcAnalysisConfig& cfg, const AnalysisPlatform& p,
+                      PortIndex port, BeatCount beats, Cycle pipeline) {
+  AXIHC_CHECK(cfg.num_ports >= 1);
+  if (cfg.reservation_period != 0 && cfg.budgets.at(port) > 0) {
     const std::uint32_t subs = sub_transaction_count(cfg, beats);
     return pipeline +
            with_refresh(p, reservation_supply_bound(cfg, port, subs) +
-                               service_bound(p, competitor_unit_beats(cfg)));
+                               arbitration_and_service_bound(cfg, p, beats));
   }
-  return pipeline + with_refresh(p, arbitration_and_service_bound(cfg, p, beats));
+  return pipeline +
+         with_refresh(p, arbitration_and_service_bound(cfg, p, beats));
+}
+
+}  // namespace
+
+Cycle wcrt_read(const HcAnalysisConfig& cfg, const AnalysisPlatform& p,
+                PortIndex port, BeatCount beats) {
+  return wcrt_core(cfg, p, port, beats, p.ar_latency + p.r_latency);
 }
 
 Cycle wcrt_write(const HcAnalysisConfig& cfg, const AnalysisPlatform& p,
                  PortIndex port, BeatCount beats) {
-  const Cycle pipeline = p.aw_latency + p.w_latency + p.b_latency;
-  if (cfg.reservation_period != 0 && reservation_feasible(cfg, p)) {
-    const std::uint32_t subs = sub_transaction_count(cfg, beats);
-    return pipeline +
-           with_refresh(p, reservation_supply_bound(cfg, port, subs) +
-                               service_bound(p, competitor_unit_beats(cfg)));
-  }
-  return pipeline + with_refresh(p, arbitration_and_service_bound(cfg, p, beats));
+  return wcrt_core(cfg, p, port, beats,
+                   p.aw_latency + p.w_latency + p.b_latency);
+}
+
+Cycle audit_wcrt_read(const HcAnalysisConfig& cfg, const AnalysisPlatform& p,
+                      PortIndex port, BeatCount beats) {
+  return audit_wcrt_core(cfg, p, port, beats, p.ar_latency + p.r_latency);
+}
+
+Cycle audit_wcrt_write(const HcAnalysisConfig& cfg, const AnalysisPlatform& p,
+                       PortIndex port, BeatCount beats) {
+  return audit_wcrt_core(cfg, p, port, beats,
+                         p.aw_latency + p.w_latency + p.b_latency);
 }
 
 Cycle smartconnect_wcrt_read(const AnalysisPlatform& p,

@@ -93,6 +93,23 @@ struct HcAnalysisConfig {
                                const AnalysisPlatform& p, PortIndex port,
                                BeatCount beats);
 
+/// Bounds used by the runtime latency auditor (src/obs/latency_audit.*).
+/// wcrt_read/wcrt_write bound a request arriving at an otherwise-idle own
+/// port; the live auditor observes arbitrary workloads where the port's
+/// reads and writes share one budget and drain it concurrently, so the
+/// audit bound composes the reservation supply bound with the full
+/// round-robin arbitration-and-service term instead of a single blocking
+/// unit. It is >= the corresponding wcrt_* bound everywhere, and sound for
+/// infeasible reservation plans (where budget throttling, not arbitration,
+/// dominates). Falls back to the round-robin bound when reservation is off
+/// or the port has no budget.
+[[nodiscard]] Cycle audit_wcrt_read(const HcAnalysisConfig& cfg,
+                                    const AnalysisPlatform& p, PortIndex port,
+                                    BeatCount beats);
+[[nodiscard]] Cycle audit_wcrt_write(const HcAnalysisConfig& cfg,
+                                     const AnalysisPlatform& p, PortIndex port,
+                                     BeatCount beats);
+
 /// The analogous bound for the SmartConnect baseline: variable round-robin
 /// granularity `g` (worst-case interference g×(N−1) transactions per §V-B)
 /// and no equalization (competitor bursts up to `max_competitor_beats`).

@@ -94,6 +94,7 @@ struct RunRow {
   std::uint64_t conservation_violations = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t escalations = 0;
+  std::uint64_t bound_violations = 0;
 };
 
 std::string fault_list_json(const FaultScenario& scenario) {
@@ -118,10 +119,17 @@ RunRow execute_run(const IniFile& ini, const CampaignSpec& spec,
                    const std::vector<std::uint64_t>& baseline_bytes) {
   const FaultScenario scenario = campaign_scenario(spec, run_index);
   ConfiguredSystem sys(ini, scenario);
+  // Latency provenance rides along on every run: fault recovery is exactly
+  // when the bound-exclusion logic earns its keep, and the audited/violation
+  // counters join the survivability row. The auditor never touches simulated
+  // state, so digests stay comparable with non-audited runs.
+  sys.observe_config().latency_audit = true;
   sys.run(spec.cycles);
 
   const RecoveryManager* rec = sys.recovery();
   AXIHC_CHECK(rec != nullptr);
+  const LatencyAudit* audit = sys.latency_audit();
+  AXIHC_CHECK(audit != nullptr);
   const std::uint32_t num_ports = sys.soc().config().num_ports;
 
   RunRow row;
@@ -129,6 +137,7 @@ RunRow execute_run(const IniFile& ini, const CampaignSpec& spec,
   row.conservation_violations = rec->conservation_violations();
   row.recoveries = rec->recoveries();
   row.escalations = rec->escalations();
+  row.bound_violations = audit->bound_violations();
 
   std::ostringstream os;
   os << "{\"run\":" << run_index << ",\"seed\":" << scenario.seed
@@ -139,7 +148,10 @@ RunRow execute_run(const IniFile& ini, const CampaignSpec& spec,
      << json_double(rec->mean_time_to_recovery()) << ",\"converged\":"
      << (row.converged ? "true" : "false") << ",\"budget_conserved\":"
      << (row.conservation_violations == 0 ? "true" : "false")
-     << ",\"final_states\":[";
+     << ",\"audit_txns\":" << audit->transactions() << ",\"bound_checked\":"
+     << audit->bound_checked() << ",\"bound_violations\":"
+     << audit->bound_violations() << ",\"max_latency_ratio\":"
+     << json_double(audit->max_latency_ratio()) << ",\"final_states\":[";
   for (PortIndex p = 0; p < num_ports; ++p) {
     if (p != 0) os << ",";
     os << "\"" << to_string(rec->state(p)) << "\"";
@@ -267,6 +279,10 @@ CampaignOutput run_campaign(const IniFile& ini) {
   baseline_scenario.seed = spec.seed;
   append_sentinels(spec, baseline_scenario);
   ConfiguredSystem baseline(ini, baseline_scenario);
+  // Same observability wiring as every run (execute_run): the probe and
+  // auditor join the digest composition, so baseline and run digests stay
+  // comparable.
+  baseline.observe_config().latency_audit = true;
   baseline.run(spec.cycles);
   std::vector<std::uint64_t> baseline_bytes;
   for (std::size_t i = 0; i < baseline.ha_count(); ++i) {
@@ -316,6 +332,7 @@ CampaignOutput run_campaign(const IniFile& ini) {
     out.conservation_violations += row.conservation_violations;
     out.total_recoveries += row.recoveries;
     out.total_escalations += row.escalations;
+    out.total_bound_violations += row.bound_violations;
     out.lines.push_back(std::move(row.line));
   }
   return out;
@@ -332,6 +349,7 @@ std::string campaign_replay_ini(const IniFile& ini,
   std::ostringstream os;
   os << "; standalone replay of campaign run " << run_index
      << " (campaign seed " << spec.seed << ")\n";
+  bool saw_observe = false;
   for (const IniSection& s : ini.sections()) {
     if (s.name() == "campaign") continue;
     os << "[" << s.name() << "]\n";
@@ -340,13 +358,24 @@ std::string campaign_replay_ini(const IniFile& ini,
       if (s.name() == "system" && (key == "fault_seed" || key == "cycles")) {
         continue;
       }
+      // Campaign runs always audit; the replay must elaborate the same
+      // observability objects or its digest diverges from the row's.
+      if (s.name() == "observe" && key == "latency_audit") continue;
       os << key << " = " << value << "\n";
     }
     if (s.name() == "system") {
       os << "cycles = " << spec.cycles << "\n";
       os << "fault_seed = " << scenario.seed << "\n";
     }
+    if (s.name() == "observe") {
+      saw_observe = true;
+      os << "latency_audit = true\n";
+    }
     os << "\n";
+  }
+  if (!saw_observe) {
+    os << "[observe]\n";
+    os << "latency_audit = true\n\n";
   }
   for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
     const FaultSpec& f = scenario.faults[i];

@@ -90,6 +90,10 @@ struct CampaignOutput {
   std::uint64_t conservation_violations = 0;
   std::uint64_t total_recoveries = 0;
   std::uint64_t total_escalations = 0;
+  /// WCLA bound violations across all runs' audited transactions
+  /// (informational: injected interference like delay_w legitimately
+  /// exceeds the fault-free bound, so this does not fail the campaign).
+  std::uint64_t total_bound_violations = 0;
 
   /// Every run converged and the budget-conservation invariant held.
   [[nodiscard]] bool ok() const {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "hyperconnect/config.hpp"
 #include "obs/chrome_trace.hpp"
 #include "stats/table.hpp"
@@ -179,8 +180,13 @@ void ConfiguredSystem::build(const IniFile& ini,
     observe_.sample_every = obs->get_u64("sample_every", 1000);
     observe_.trace_capacity =
         static_cast<std::size_t>(obs->get_u64("trace_capacity", 0));
+    observe_.latency_audit = obs->get_bool("latency_audit", false);
+    observe_.flight_capacity =
+        static_cast<std::size_t>(obs->get_u64("flight_capacity", 4096));
     AXIHC_CHECK_MSG(observe_.sample_every >= 1,
                     "[observe] sample_every must be >= 1");
+    AXIHC_CHECK_MSG(observe_.flight_capacity >= 1,
+                    "[observe] flight_capacity must be >= 1");
   }
 
   soc_->sim().reset();
@@ -267,6 +273,60 @@ void ConfiguredSystem::wire_observability() {
       "apm", soc_->interconnect().master_link(), observe_.sample_every);
   probe_->register_metrics(registry_);
   soc_->add(*probe_);
+
+  // Trace-capacity drops as a first-class metric: a capped trace silently
+  // losing events would skew any analysis built on it.
+  registry_.add_counter("trace.dropped",
+                        [this] { return static_cast<double>(trace_.dropped()); });
+
+  if (observe_.latency_audit) {
+    const SocConfig& cfg = soc_->config();
+    audit_ =
+        std::make_unique<LatencyAudit>(cfg.num_ports, observe_.flight_capacity);
+    audit_->set_enabled(true);
+    audit_->set_trace(&trace_);
+    audit_->set_mem_source(soc_->memory_controller().name());
+    if (HyperConnect* hc = soc_->hyperconnect()) {
+      hc->set_latency_audit(audit_.get());
+      for (PortIndex p = 0; p < cfg.num_ports; ++p) {
+        audit_->set_port_source(p, hc->name() + ".port" + std::to_string(p));
+      }
+      // Positional memory-stage matching needs the in-order pipeline on
+      // both sides; out-of-order HC mode or FR-FCFS scheduling fall back
+      // to provenance-only auditing at the memory stage.
+      const bool positional =
+          !cfg.hc.out_of_order &&
+          cfg.mem.scheduling == MemScheduling::kInOrder;
+      if (positional) {
+        soc_->memory_controller().set_latency_audit(audit_.get());
+        // The analytic bound additionally assumes no PS-originated stall
+        // interference (the model has no term for it).
+        if (cfg.mem.ps_stall_period == 0) {
+          HcAnalysisConfig acfg;
+          acfg.num_ports = cfg.num_ports;
+          acfg.nominal_burst = cfg.hc.nominal_burst;
+          acfg.reservation_period = cfg.hc.reservation_period;
+          acfg.budgets = cfg.hc.initial_budgets;
+          acfg.budgets.resize(cfg.num_ports, 0);
+          acfg.competitor_backlog = cfg.hc.max_outstanding;
+          AnalysisPlatform ap;
+          ap.mem_latency = cfg.mem.row_miss_latency;
+          ap.turnaround = cfg.mem.turnaround;
+          ap.refresh_period = cfg.mem.refresh_period;
+          ap.refresh_duration = cfg.mem.refresh_duration;
+          audit_->set_bound_model(acfg, ap);
+        }
+      }
+    }
+    for (PortIndex p = 0; p < masters_.size(); ++p) {
+      masters_[p]->set_latency_audit(audit_.get(), p);
+    }
+    audit_->register_metrics(registry_);
+    // The audit state is shared by components on different tick islands
+    // (masters, interconnect, memory); only the serial kernel orders their
+    // hook calls deterministically.
+    soc_->sim().set_threads(0);
+  }
 
   if (observe_.metrics) {
     sampler_ = std::make_unique<MetricsSampler>("sampler", registry_,
@@ -390,6 +450,12 @@ Cycle ConfiguredSystem::run(Cycle override_cycles) {
   // Final cumulative sample: the last row of the time series then matches
   // the end-of-run totals (e.g. apm.read_bytes == total_read_bytes()).
   if (sampler_) sampler_->finalize(soc_->sim().now());
+  if (trace_.dropped() != 0) {
+    AXIHC_LOG_WARN() << "trace capacity " << trace_.capacity() << " dropped "
+                     << trace_.dropped()
+                     << " events; raise [observe] trace_capacity or check "
+                        "trace.dropped in the metrics series";
+  }
   return soc_->sim().now();
 }
 

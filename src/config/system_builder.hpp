@@ -71,6 +71,7 @@
 #include "ha/traffic_gen.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "lint/lint.hpp"
+#include "obs/latency_audit.hpp"
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "recovery/recovery_manager.hpp"
@@ -89,7 +90,13 @@ struct ObserveConfig {
   bool metrics = false;
   Cycle sample_every = 1000;
   std::size_t trace_capacity = 0;  // 0 = unbounded
-  [[nodiscard]] bool any() const { return trace || metrics; }
+  /// Per-transaction latency provenance + live WCLA bound auditing
+  /// (src/obs/latency_audit.hpp). Forces the serial tick kernel (the audit
+  /// state is shared across master/memory islands).
+  bool latency_audit = false;
+  /// Flight-recorder ring capacity (completed transactions retained).
+  std::size_t flight_capacity = 4096;
+  [[nodiscard]] bool any() const { return trace || metrics || latency_audit; }
 };
 
 /// A fully-assembled experiment: the SoC plus the configured HAs, ready to
@@ -154,6 +161,11 @@ class ConfiguredSystem {
   /// The APM-style probe on the interconnect master link, or nullptr.
   [[nodiscard]] const BandwidthProbe* probe() const { return probe_.get(); }
 
+  /// The latency auditor, or nullptr when observe latency_audit was off.
+  [[nodiscard]] const LatencyAudit* latency_audit() const {
+    return audit_.get();
+  }
+
   /// Chrome trace-event JSON (Perfetto-loadable): the event stream plus the
   /// sampled metrics as counter tracks.
   void write_trace(std::ostream& os) const;
@@ -207,6 +219,7 @@ class ConfiguredSystem {
   MetricsRegistry registry_;
   std::unique_ptr<MetricsSampler> sampler_;
   std::unique_ptr<BandwidthProbe> probe_;
+  std::unique_ptr<LatencyAudit> audit_;
 };
 
 /// Parses + builds in one call (throws ModelError with a line/section

@@ -31,14 +31,16 @@ void AxiMasterBase::append_digest(StateDigest& d) const {
   d.mix(stats_.writes_failed);
   d.mix(stats_.stray_r_beats);
   d.mix(stats_.stray_b_resps);
-  d.mix(stats_.read_latency.count());
-  for (Cycle s : stats_.read_latency.samples()) {
-    d.mix(static_cast<std::uint64_t>(s));
-  }
-  d.mix(stats_.write_latency.count());
-  for (Cycle s : stats_.write_latency.samples()) {
-    d.mix(static_cast<std::uint64_t>(s));
-  }
+  // Histograms fold as their exact summary (count/sum/min/max): cheaper
+  // than mixing 1920 buckets and still sensitive to any latency change.
+  const auto mix_hist = [&d](const LogHistogram& h) {
+    d.mix(static_cast<std::uint64_t>(h.count()));
+    d.mix(h.sum());
+    d.mix(h.count() != 0 ? static_cast<std::uint64_t>(h.min()) : 0);
+    d.mix(h.count() != 0 ? static_cast<std::uint64_t>(h.max()) : 0);
+  };
+  mix_hist(stats_.read_latency);
+  mix_hist(stats_.write_latency);
   d.mix(static_cast<std::uint64_t>(next_id_));
   d.mix(static_cast<std::uint64_t>(reads_in_flight_.size()));
   for (const auto& f : reads_in_flight_) d.mix(f.beats_left);
@@ -230,6 +232,9 @@ void AxiMasterBase::pump(Cycle now) {
           if (tracing()) trace_->record(now, name(), "read_error");
         }
         stats_.read_latency.record(now - done.issued_at);
+        if (audit_ != nullptr && audit_->enabled()) {
+          audit_->on_complete(audit_port_, false, done, failed, now);
+        }
         on_read_complete(done, now);
       }
     }
@@ -253,6 +258,10 @@ void AxiMasterBase::pump(Cycle now) {
       }
       stats_.bytes_written += burst_bytes(done);
       stats_.write_latency.record(now - done.issued_at);
+      if (audit_ != nullptr && audit_->enabled()) {
+        audit_->on_complete(audit_port_, true, done, is_error(resp.resp),
+                            now);
+      }
       on_write_complete(done, now);
     }
   }

@@ -23,6 +23,8 @@
 #include <string>
 
 #include "axi/axi.hpp"
+#include "obs/audit_hooks.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "sim/component.hpp"
 #include "sim/trace.hpp"
@@ -51,8 +53,14 @@ struct MasterStats {
   /// (the decoupler cannot shield the HA once the port is recoupled).
   std::uint64_t stray_r_beats = 0;
   std::uint64_t stray_b_resps = 0;
-  LatencyStats read_latency;   // AR issue -> final R beat
-  LatencyStats write_latency;  // AW issue -> B response
+  /// Latency distributions in log-bucketed histograms (obs/histogram.hpp):
+  /// masters live for the whole run, so retaining every sample
+  /// (stats/stats.hpp LatencyStats) grows without bound on hot paths.
+  /// count/min/max/mean/sum stay exact; percentiles are bucket-resolution
+  /// (<= ~3.1% high). Tests needing exact percentiles keep LatencyStats on
+  /// their own bounded collections.
+  LogHistogram read_latency;   // AR issue -> final R beat
+  LogHistogram write_latency;  // AW issue -> B response
 };
 
 class AxiMasterBase : public Component {
@@ -90,6 +98,15 @@ class AxiMasterBase : public Component {
   /// Observability: error completions (and subclass milestones) become
   /// trace events. nullptr (the default) disables the hooks.
   void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  /// Latency auditor hook: every completed transaction (read final beat,
+  /// write B response) is reported with its original request and failure
+  /// flag. `port` identifies this master's interconnect slave port.
+  /// nullptr (the default) disables at one branch per completion.
+  void set_latency_audit(LatencyAuditHooks* audit, PortIndex port) {
+    audit_ = audit;
+    audit_port_ = port;
+  }
 
   /// Registers traffic counters and outstanding-transaction gauges with
   /// `reg`. Virtual so subclasses can append their own (jobs done, frames).
@@ -190,6 +207,8 @@ class AxiMasterBase : public Component {
 
   MasterStats stats_;
   EventTrace* trace_ = nullptr;
+  LatencyAuditHooks* audit_ = nullptr;
+  PortIndex audit_port_ = 0;
 };
 
 }  // namespace axihc

@@ -50,6 +50,7 @@ class Efifo {
   [[nodiscard]] bool aw_available() const {
     return active() && link_->aw.can_pop();
   }
+  [[nodiscard]] const AddrReq& peek_aw() const { return link_->aw.front(); }
   AddrReq pop_aw() { return link_->aw.pop(); }
 
   [[nodiscard]] bool w_available() const {

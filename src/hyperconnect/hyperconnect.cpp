@@ -206,8 +206,11 @@ void HyperConnect::tick_central_unit(Cycle now) {
   // HA behind the port is being replaced and is reset before recoupling.
   for (PortIndex i = 0; i < num_ports(); ++i) {
     const bool want = runtime_.coupled[i];
-    if (tracing() && want != efifos_[i].coupled()) {
-      trace_->record(now, port_source(i), want ? "recouple" : "decouple");
+    if (want != efifos_[i].coupled()) {
+      if (tracing()) {
+        trace_->record(now, port_source(i), want ? "recouple" : "decouple");
+      }
+      if (!want && auditing()) audit_->on_port_disturbed(i, now);
     }
     if (!want) {
       AxiLink& link = port_link(i);
@@ -338,6 +341,7 @@ void HyperConnect::trigger_fault(PortIndex i, FaultCause cause, Cycle now) {
   }
   ts_[i]->abort_pending_issue();
   pu_[i]->clear_stalls();
+  if (auditing()) audit_->on_port_disturbed(i, now);
 
   // Amnesty for the bystanders: time their sub-transactions spent wedged
   // behind the culprit must not count against the age backstop.
@@ -549,14 +553,73 @@ void HyperConnect::tick(Cycle now) {
 
   // TS modules: one sub-request per port per direction per cycle. Every
   // issued sub-transaction is registered with the port's protection unit.
+  const bool audit = auditing();
+  if (audit) audit_->on_hc_tick(now);
   for (PortIndex i = 0; i < num_ports(); ++i) {
+    // The TS pops the next original request before issuing; observe the pop
+    // (peek + precondition) so the auditor sees the accept with its payload.
+    bool accept_r = false;
+    bool accept_w = false;
+    AddrReq orig_r;
+    AddrReq orig_w;
+    if (audit && runtime_.global_enable) {
+      if (!ts_[i]->active_read_id().has_value() &&
+          efifos_[i].ar_available()) {
+        accept_r = true;
+        orig_r = efifos_[i].peek_ar();
+      }
+      if (!ts_[i]->active_write_id().has_value() &&
+          efifos_[i].aw_available()) {
+        accept_w = true;
+        orig_w = efifos_[i].peek_aw();
+      }
+    }
     if (const auto sub =
             ts_[i]->tick_read_issue(efifos_[i], *ts_ar_[i], budget_left_[i])) {
       pu_[i]->on_issue_read(sub->id, sub->is_final, now);
+      if (audit) {
+        if (accept_r) audit_->on_accept(i, false, orig_r, now);
+        audit_->on_sub_issue(i, false, sub->is_final, now);
+      }
+    } else if (audit && accept_r) {
+      audit_->on_accept(i, false, orig_r, now);
     }
     if (const auto sub = ts_[i]->tick_write_issue(efifos_[i], *ts_aw_[i],
                                                   budget_left_[i])) {
       pu_[i]->on_issue_write(sub->id, sub->is_final, now);
+      if (audit) {
+        if (accept_w) audit_->on_accept(i, true, orig_w, now);
+        audit_->on_sub_issue(i, true, sub->is_final, now);
+      }
+    } else if (audit && accept_w) {
+      audit_->on_accept(i, true, orig_w, now);
+    }
+  }
+  // Classify why each still-active split could not issue this cycle; the
+  // auditor charges the cycles until the next evaluation to this cause.
+  if (audit) {
+    const auto classify = [this](PortIndex i,
+                                 std::uint32_t outstanding,
+                                 const TimingChannel<AddrReq>& stage) {
+      if (!runtime_.global_enable) return LatencyCause::kBackpressure;
+      if (runtime_.reservation_period != 0 && budget_left_[i] == 0) {
+        return LatencyCause::kBudgetWait;
+      }
+      if (!stage.can_push()) return LatencyCause::kArbitration;
+      if (outstanding >= runtime_.max_outstanding) {
+        return LatencyCause::kBackpressure;
+      }
+      return LatencyCause::kPipeline;  // will issue next cycle
+    };
+    for (PortIndex i = 0; i < num_ports(); ++i) {
+      if (ts_[i]->active_read_id().has_value()) {
+        audit_->on_stall_cause(
+            i, false, classify(i, ts_[i]->reads_outstanding(), *ts_ar_[i]));
+      }
+      if (ts_[i]->active_write_id().has_value()) {
+        audit_->on_stall_cause(
+            i, true, classify(i, ts_[i]->writes_outstanding(), *ts_aw_[i]));
+      }
     }
   }
 
@@ -567,6 +630,7 @@ void HyperConnect::tick(Cycle now) {
       trace_->record(now, name() + ".exbar",
                      "ar_grant_p" + std::to_string(*p));
     }
+    if (audit) audit_->on_grant(*p, false, now);
   }
   if (auto p = exbar_.grant_write(ts_aw_ptrs_, xbar_aw_)) {
     ++mutable_counters(*p).aw_granted;
@@ -574,14 +638,17 @@ void HyperConnect::tick(Cycle now) {
       trace_->record(now, name() + ".exbar",
                      "aw_grant_p" + std::to_string(*p));
     }
+    if (audit) audit_->on_grant(*p, true, now);
   }
 
   // Master eFIFO stage toward the FPGA-PS interface.
   if (xbar_ar_.can_pop() && master_link().ar.can_push()) {
     master_link().ar.push(xbar_ar_.pop());
+    if (audit) audit_->on_hc_exit(false, now);
   }
   if (xbar_aw_.can_pop() && master_link().aw.can_push()) {
     master_link().aw.push(xbar_aw_.pop());
+    if (audit) audit_->on_hc_exit(true, now);
   }
 }
 

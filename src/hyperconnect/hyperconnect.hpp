@@ -26,6 +26,7 @@
 #include "hyperconnect/register_file.hpp"
 #include "hyperconnect/transaction_supervisor.hpp"
 #include "interconnect/interconnect.hpp"
+#include "obs/audit_hooks.hpp"
 #include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
@@ -81,6 +82,13 @@ class HyperConnect final : public Interconnect {
   /// hooks at the cost of one branch each.
   void set_trace(EventTrace* trace) { trace_ = trace; }
 
+  /// Attaches the latency auditor (src/obs/latency_audit.*): the tick loop
+  /// reports eFIFO accepts, sub-transaction issues, stall causes, EXBAR
+  /// grants, master-side exits and port disturbances through the hook
+  /// interface. nullptr (the default) disables at one branch per site; the
+  /// audit mutates no simulated state, so digests are unaffected.
+  void set_latency_audit(LatencyAuditHooks* audit) { audit_ = audit; }
+
   /// Registers this instance's gauges and counters (per-port budget
   /// remaining, eFIFO occupancy, grants/beats, outstanding sub-transactions,
   /// fault telemetry) with `reg`. The readers borrow `this`, which must
@@ -94,6 +102,9 @@ class HyperConnect final : public Interconnect {
  private:
   [[nodiscard]] bool tracing() const {
     return trace_ != nullptr && trace_->enabled();
+  }
+  [[nodiscard]] bool auditing() const {
+    return audit_ != nullptr && audit_->enabled();
   }
   [[nodiscard]] std::string port_source(PortIndex i) const;
 
@@ -136,6 +147,7 @@ class HyperConnect final : public Interconnect {
   HcRegisterFile regfile_;
   AxiLink control_link_;
   EventTrace* trace_ = nullptr;
+  LatencyAuditHooks* audit_ = nullptr;
 };
 
 }  // namespace axihc

@@ -182,6 +182,8 @@ void MemoryController::start_next_command() {
   next_beat_addr_ = current_.req.addr;
   stream_index_ = 0;
   phase_ = Phase::kLatency;
+  if (audit_ != nullptr && audit_->enabled())
+    audit_->on_mem_start(current_.is_write, now_);
 }
 
 Cycle MemoryController::next_activity(Cycle now) const {
@@ -288,6 +290,7 @@ void MemoryController::tick(Cycle now) {
         }
         wait_left_ = cfg_.turnaround;
         phase_ = Phase::kTurnaround;
+        if (audit_ != nullptr && audit_->enabled()) audit_->on_mem_done(now_);
       }
       break;
     }

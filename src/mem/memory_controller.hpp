@@ -21,6 +21,7 @@
 #include "axi/axi.hpp"
 #include "common/types.hpp"
 #include "mem/backing_store.hpp"
+#include "obs/audit_hooks.hpp"
 #include "obs/metrics.hpp"
 #include "sim/component.hpp"
 #include "sim/trace.hpp"
@@ -109,6 +110,12 @@ class MemoryController final : public Component {
   /// instants. nullptr (the default) disables the hooks.
   void set_trace(EventTrace* trace) { trace_ = trace; }
 
+  /// Latency auditor hooks: command service start/done. Only meaningful
+  /// with in-order scheduling (the auditor matches commands positionally;
+  /// FR-FCFS reordering breaks that, so the wiring layer does not attach
+  /// the auditor to FR-FCFS controllers). nullptr (the default) disables.
+  void set_latency_audit(LatencyAuditHooks* audit) { audit_ = audit; }
+
   /// Registers queue depth, served/row-hit/row-miss counters etc. with `reg`.
   void register_metrics(MetricsRegistry& reg);
 
@@ -176,6 +183,7 @@ class MemoryController final : public Component {
     return trace_ != nullptr && trace_->enabled();
   }
   EventTrace* trace_ = nullptr;
+  LatencyAuditHooks* audit_ = nullptr;
   Cycle now_ = 0;  // tick timestamp, for hooks below start_next_command
 };
 

@@ -116,6 +116,20 @@ void write_chrome_trace(std::ostream& os, const EventTrace& trace,
             e.cycle, e.source + "." + e.event, 'C', 0,
             ",\"args\":{\"value\":" + json_number(e.value) + "}"));
         break;
+      // Flow arrows ("s" start, "f" finish): same cat+id pairs the two ends;
+      // bp:"e" binds the finish to the enclosing slice so viewers draw the
+      // arrow even when the anchors are bare points.
+      case TraceKind::kFlowStart:
+        records.push_back(make_record(
+            e.cycle, e.event, 's', tid,
+            ",\"cat\":\"txn\",\"id\":" + json_number(e.value)));
+        break;
+      case TraceKind::kFlowEnd:
+        records.push_back(make_record(
+            e.cycle, e.event, 'f', tid,
+            ",\"cat\":\"txn\",\"id\":" + json_number(e.value) +
+                ",\"bp\":\"e\""));
+        break;
     }
   }
 

@@ -343,6 +343,12 @@ void RecoveryManager::register_metrics(MetricsRegistry& reg) {
   reg.add_counter(name() + ".recoveries", &recoveries_);
   reg.add_counter(name() + ".escalations", &escalations_);
   reg.add_counter(name() + ".demotions", &demotions_);
+  // Survivability summary fields (the same numbers the fault-campaign rows
+  // report), so --metrics-out series carry them too.
+  reg.add_gauge(name() + ".mttr_cycles",
+                [this] { return mean_time_to_recovery(); });
+  reg.add_gauge(name() + ".converged",
+                [this] { return all_converged() ? 1.0 : 0.0; });
   for (PortIndex p = 0; p < ports_.size(); ++p) {
     const std::string s = name() + ".port" + std::to_string(p);
     reg.add_gauge(s + ".state", [this, p] {

@@ -108,6 +108,20 @@ void EventTrace::record_counter(Cycle cycle, std::string source,
         value});
 }
 
+void EventTrace::record_flow_start(Cycle cycle, std::string source,
+                                   std::string event, std::uint64_t id) {
+  if (!enabled_) return;
+  push({cycle, std::move(source), std::move(event), TraceKind::kFlowStart,
+        static_cast<double>(id)});
+}
+
+void EventTrace::record_flow_end(Cycle cycle, std::string source,
+                                 std::string event, std::uint64_t id) {
+  if (!enabled_) return;
+  push({cycle, std::move(source), std::move(event), TraceKind::kFlowEnd,
+        static_cast<double>(id)});
+}
+
 Cycle EventTrace::first(const std::string& source,
                         const std::string& event) const {
   for (const auto& e : events_) {

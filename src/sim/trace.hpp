@@ -20,10 +20,12 @@ namespace axihc {
 
 /// How an event renders on a timeline.
 enum class TraceKind : std::uint8_t {
-  kInstant,  // a point in time
-  kBegin,    // start of a duration slice on the source's track
-  kEnd,      // end of the most recent slice with the same (source, event)
-  kCounter,  // a numeric sample (value field)
+  kInstant,    // a point in time
+  kBegin,      // start of a duration slice on the source's track
+  kEnd,        // end of the most recent slice with the same (source, event)
+  kCounter,    // a numeric sample (value field)
+  kFlowStart,  // origin of a flow arrow (value = flow id)
+  kFlowEnd,    // terminus of the flow arrow with the same id
 };
 
 struct TraceEvent {
@@ -109,6 +111,15 @@ class EventTrace {
   void record_end(Cycle cycle, std::string source, std::string event);
   void record_counter(Cycle cycle, std::string source, std::string event,
                       double value);
+
+  /// Flow arrows: a kFlowStart and the kFlowEnd carrying the same `id` are
+  /// rendered as an arrow between their (cycle, source) anchor points —
+  /// the latency auditor uses one per transaction to link request issue to
+  /// response delivery across component tracks.
+  void record_flow_start(Cycle cycle, std::string source, std::string event,
+                         std::uint64_t id);
+  void record_flow_end(Cycle cycle, std::string source, std::string event,
+                       std::uint64_t id);
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;

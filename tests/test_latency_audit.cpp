@@ -1,0 +1,334 @@
+// Latency-provenance and WCLA bound-audit layer (src/obs/latency_audit):
+// log-bucketed histogram geometry, flow-event export, exact cause-bucket
+// accounting on clean systems, the tightened-bound auditor self-test, and
+// digest bit-identity with the auditor on vs off.
+#include "obs/latency_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/system_builder.hpp"
+#include "ha/dma_engine.hpp"
+#include "hyperconnect/hyperconnect.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/memory_controller.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/histogram.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace axihc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LogHistogram geometry
+// ---------------------------------------------------------------------------
+
+TEST(LogHistogram, ExactRegionIsUnitBuckets) {
+  // Below 2^6 every value owns a bucket: index == value, width 1.
+  for (Cycle v : {Cycle{0}, Cycle{1}, Cycle{33}, Cycle{62}, Cycle{63}}) {
+    const std::size_t idx = LogHistogram::bucket_index(v);
+    EXPECT_EQ(idx, v);
+    EXPECT_EQ(LogHistogram::bucket_lower(idx), v);
+    EXPECT_EQ(LogHistogram::bucket_upper(idx), v);
+  }
+}
+
+TEST(LogHistogram, OctaveEdges) {
+  // 64 is the first bucketed value; 63 the last exact one — adjacent
+  // indices, no gap and no overlap.
+  EXPECT_EQ(LogHistogram::bucket_index(63), 63u);
+  EXPECT_EQ(LogHistogram::bucket_index(64), 64u);
+  EXPECT_EQ(LogHistogram::bucket_lower(64), 64u);
+  // First octave [64, 128) in 32 sub-buckets of width 2: 64 and 65
+  // share a bucket, 66 starts the next.
+  EXPECT_EQ(LogHistogram::bucket_index(65), 64u);
+  EXPECT_EQ(LogHistogram::bucket_index(66), 65u);
+
+  // Every bucket's [lower, upper] must contain each value mapped to it,
+  // and buckets must tile the line: upper(i) + 1 == lower(i + 1).
+  for (Cycle v :
+       {Cycle{64}, Cycle{127}, Cycle{128}, Cycle{129}, Cycle{255},
+        Cycle{256}, Cycle{1000}, Cycle{65535}, Cycle{65536},
+        Cycle{1} << 40, (Cycle{1} << 40) + 12345}) {
+    const std::size_t idx = LogHistogram::bucket_index(v);
+    EXPECT_LE(LogHistogram::bucket_lower(idx), v) << v;
+    EXPECT_GE(LogHistogram::bucket_upper(idx), v) << v;
+  }
+  for (std::size_t i = 0; i + 1 < LogHistogram::bucket_count(); ++i) {
+    EXPECT_EQ(LogHistogram::bucket_upper(i) + 1,
+              LogHistogram::bucket_lower(i + 1))
+        << "gap/overlap at bucket " << i;
+  }
+}
+
+TEST(LogHistogram, ExactSummariesAndBoundedPercentileError) {
+  LogHistogram h;
+  std::uint64_t sum = 0;
+  std::vector<Cycle> samples;
+  for (Cycle v = 1; v <= 5000; v += 7) {
+    h.record(v);
+    samples.push_back(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), samples.front());
+  EXPECT_EQ(h.max(), samples.back());
+
+  for (double p : {50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const auto rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(p / 100.0 *
+                                        static_cast<double>(samples.size()))));
+    const Cycle exact = samples[rank - 1];
+    const Cycle reported = h.percentile(p);
+    EXPECT_GE(reported, exact) << "p" << p;  // never under-reports
+    EXPECT_LE(static_cast<double>(reported),
+              static_cast<double>(exact) * (1.0 + 1.0 / 32.0) + 1.0)
+        << "p" << p;  // at most one sub-bucket high
+  }
+}
+
+TEST(LogHistogram, ExactRegionPercentilesAreExact) {
+  LogHistogram h;
+  for (Cycle v = 1; v <= 60; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(50.0), 30u);
+  EXPECT_EQ(h.percentile(100.0), 60u);
+}
+
+// ---------------------------------------------------------------------------
+// Flow events in the Chrome trace export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTrace, FlowEventsRenderAsArrowPair) {
+  EventTrace trace;
+  trace.enable(true);
+  trace.record_flow_start(10, "hc.port0", "rtxn", 42);
+  trace.record_flow_end(60, "mem", "rtxn", 42);
+  std::ostringstream os;
+  write_chrome_trace(os, trace);
+  const std::string json = os.str();
+  // Start: ph "s" with the binding id; end: ph "f" with bp:"e" so the
+  // arrow anchors to the enclosing slice/instant end.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"txn\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"rtxn\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// System-level fixtures
+// ---------------------------------------------------------------------------
+
+constexpr const char* kContentionIni = R"(
+[system]
+interconnect = hyperconnect
+platform = zcu102
+ports = 2
+cycles = 150000
+
+[hyperconnect]
+nominal_burst = 16
+max_outstanding = 4
+reservation_period = 2000
+budgets = 64 7
+
+[ha0]
+type = dma
+mode = readwrite
+bytes_per_job = 262144
+burst = 16
+
+[ha1]
+type = dma
+mode = readwrite
+bytes_per_job = 262144
+burst = 16
+)";
+
+std::unique_ptr<ConfiguredSystem> audited_system(const std::string& ini) {
+  auto sys = build_system(ini);
+  sys->observe_config().latency_audit = true;
+  return sys;
+}
+
+TEST(LatencyAudit, CauseBucketsSumExactlyToLatency) {
+  auto sys = audited_system(kContentionIni);
+  sys->run();
+  const LatencyAudit* audit = sys->latency_audit();
+  ASSERT_NE(audit, nullptr);
+  ASSERT_GT(audit->transactions(), 100u);
+  const auto records = audit->flight_recorder().snapshot();
+  ASSERT_FALSE(records.empty());
+  for (const FlightRecord& rec : records) {
+    Cycle accounted = 0;
+    for (const Cycle c : rec.cause) accounted += c;
+    EXPECT_EQ(accounted, rec.latency)
+        << "port " << rec.port << (rec.is_write ? " w" : " r") << " id "
+        << rec.id;
+    // A clean (fault-free) run reaches every hop: nothing may fall into
+    // the recovery/unattributed residual bucket.
+    EXPECT_EQ(rec.cause[static_cast<std::size_t>(LatencyCause::kRecoveryStall)],
+              0u);
+    EXPECT_FALSE(rec.error);
+    EXPECT_FALSE(rec.fault_overlap);
+  }
+}
+
+TEST(LatencyAudit, NoViolationsOnContentionScenario) {
+  auto sys = audited_system(kContentionIni);
+  sys->run();
+  const LatencyAudit* audit = sys->latency_audit();
+  ASSERT_NE(audit, nullptr);
+  EXPECT_TRUE(audit->bounds_enabled());
+  EXPECT_GT(audit->bound_checked(), 0u);
+  EXPECT_EQ(audit->bound_violations(), 0u);
+  EXPECT_EQ(audit->excluded(), 0u);
+  ASSERT_GT(audit->max_latency_ratio(), 0.0);
+  EXPECT_LE(audit->max_latency_ratio(), 1.0);
+}
+
+TEST(LatencyAudit, RollupReportsEveryActivePortDir) {
+  auto sys = audited_system(kContentionIni);
+  sys->run();
+  std::ostringstream os;
+  sys->latency_audit()->write_rollup(os);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("p99.9"), std::string::npos);
+  EXPECT_NE(table.find("causes:"), std::string::npos);
+  EXPECT_NE(table.find("violations=0"), std::string::npos) << table;
+}
+
+/// Identical 2-port contention system; optionally fully audited.
+struct ManualSystem {
+  Simulator sim;
+  BackingStore store;
+  HyperConnect hc;
+  MemoryController mem;
+  DmaEngine dma0;
+  DmaEngine dma1;
+  LatencyAudit audit;
+
+  static DmaConfig dma_cfg() {
+    DmaConfig d;
+    d.mode = DmaMode::kReadWrite;
+    d.bytes_per_job = 1u << 18;
+    return d;
+  }
+
+  explicit ManualSystem(bool audited)
+      : hc("hc", HyperConnectConfig{}),
+        mem("ddr", hc.master_link(), store, {}),
+        dma0("dma0", hc.port_link(0), dma_cfg()),
+        dma1("dma1", hc.port_link(1), dma_cfg()),
+        audit(2, 256) {
+    hc.register_with(sim);
+    sim.add(mem);
+    sim.add(dma0);
+    sim.add(dma1);
+    if (audited) {
+      audit.set_enabled(true);
+      hc.set_latency_audit(&audit);
+      mem.set_latency_audit(&audit);
+      dma0.set_latency_audit(&audit, 0);
+      dma1.set_latency_audit(&audit, 1);
+    }
+    sim.reset();
+  }
+};
+
+TEST(LatencyAudit, DigestIdenticalWithAuditOnAndOff) {
+  ManualSystem plain(false);
+  ManualSystem audited(true);
+  for (int i = 0; i < 30000; ++i) {
+    plain.sim.step();
+    audited.sim.step();
+  }
+  // The auditor mirrors pipeline stages in its own state and never writes
+  // into simulated components — bit-identical evolution is the contract.
+  EXPECT_EQ(plain.sim.state_digest(), audited.sim.state_digest());
+  EXPECT_GT(audited.audit.transactions(), 0u);
+  EXPECT_EQ(plain.audit.transactions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The auditor's own fault-injection test: a deliberately-tightened bound
+// must fire the violation machinery (metric, flight flag, trace instant).
+// ---------------------------------------------------------------------------
+
+TEST(LatencyAudit, TightenedBoundFires) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+  DmaConfig d;
+  d.mode = DmaMode::kReadWrite;
+  d.bytes_per_job = 1u << 16;
+  DmaEngine dma("dma", hc.port_link(0), d);
+  sim.add(dma);
+
+  EventTrace trace;
+  trace.enable(true);
+  LatencyAudit audit(cfg.num_ports, 256);
+  audit.set_enabled(true);
+  audit.set_trace(&trace);
+  audit.set_bound_override(1);  // nothing real completes in one cycle
+  hc.set_latency_audit(&audit);
+  mem.set_latency_audit(&audit);
+  dma.set_latency_audit(&audit, 0);
+
+  sim.reset();
+  for (int i = 0; i < 20000; ++i) sim.step();
+
+  ASSERT_GT(audit.transactions(), 0u);
+  EXPECT_GT(audit.bound_violations(), 0u);
+  EXPECT_EQ(audit.bound_violations(), audit.bound_checked());
+  EXPECT_GT(audit.max_latency_ratio(), 1.0);
+  EXPECT_GT(trace.count("hc.port0", "bound_violation"), 0u);
+  const auto records = audit.flight_recorder().snapshot();
+  ASSERT_FALSE(records.empty());
+  EXPECT_TRUE(std::all_of(records.begin(), records.end(),
+                          [](const FlightRecord& r) { return r.violation; }));
+}
+
+// A disabled auditor must observe nothing even when attached everywhere.
+TEST(LatencyAudit, DisabledAuditorRecordsNothing) {
+  Simulator sim;
+  BackingStore store;
+  HyperConnectConfig cfg;
+  cfg.num_ports = 2;
+  HyperConnect hc("hc", cfg);
+  MemoryController mem("ddr", hc.master_link(), store, {});
+  hc.register_with(sim);
+  sim.add(mem);
+  DmaConfig d;
+  d.mode = DmaMode::kRead;
+  d.bytes_per_job = 1u << 16;
+  DmaEngine dma("dma", hc.port_link(0), d);
+  sim.add(dma);
+
+  LatencyAudit audit(cfg.num_ports, 256);  // default-disabled
+  hc.set_latency_audit(&audit);
+  mem.set_latency_audit(&audit);
+  dma.set_latency_audit(&audit, 0);
+
+  sim.reset();
+  for (int i = 0; i < 5000; ++i) sim.step();
+  EXPECT_EQ(audit.transactions(), 0u);
+  EXPECT_EQ(audit.flight_recorder().size(), 0u);
+}
+
+}  // namespace
+}  // namespace axihc

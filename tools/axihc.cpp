@@ -3,6 +3,7 @@
 //   axihc <config.ini> [--cycles N] [--trace-out f.json]
 //         [--metrics-out f.csv] [--sample-every N] [--no-fast-forward]
 //         [--threads N] [--no-parallel-tick] [--digest]
+//         [--latency-audit] [--flight-out f.jsonl]
 //   axihc <config.ini> --lint [--lint-strict] [--lint-json f.json]
 //   axihc <spec.ini> --campaign [--campaign-out f.jsonl]
 //   axihc <spec.ini> --campaign --campaign-replay N
@@ -14,6 +15,13 @@
 // stdout (or --campaign-out). Exits nonzero when any run ends with a
 // non-converged recovery FSM or a budget-conservation violation.
 // --campaign-replay N prints a standalone config reproducing run N.
+//
+// --latency-audit enables the per-transaction latency-provenance layer
+// (src/obs/latency_audit): after the run it prints the per-port roll-up
+// (p50/p99/p99.9/max vs analytic WCLA bound, cause breakdown) and exits
+// nonzero when any transaction exceeded its bound. --flight-out dumps the
+// flight-recorder ring (the last [observe] flight_capacity completed
+// transactions) as JSON-lines; it implies --latency-audit.
 //
 // --lint elaborates the system, runs the design-rule checker (src/lint) and
 // exits nonzero when any error-severity finding is present. In builds
@@ -65,6 +73,8 @@ trace = false                 ; record typed events (Chrome trace JSON)
 metrics = false               ; sample every counter/gauge in the registry
 sample_every = 1000           ; sampler period / APM window, in cycles
 trace_capacity = 0            ; max retained events; 0 = unbounded
+latency_audit = false         ; per-txn provenance + WCLA bound auditing
+flight_capacity = 4096        ; flight-recorder ring size (transactions)
 )";
 
 void usage() {
@@ -72,6 +82,7 @@ void usage() {
                "             [--metrics-out f.csv] [--sample-every N]\n"
                "             [--no-fast-forward] [--threads N]\n"
                "             [--no-parallel-tick] [--digest]\n"
+               "             [--latency-audit] [--flight-out f.jsonl]\n"
                "       axihc <config.ini> --lint [--lint-strict]\n"
                "             [--lint-json f.json]\n"
                "       axihc <spec.ini> --campaign [--campaign-out f.jsonl]\n"
@@ -105,6 +116,8 @@ int main(int argc, char** argv) {
   bool campaign_mode = false;
   std::string campaign_out;
   long long campaign_replay = -1;
+  bool latency_audit = false;
+  std::string flight_out;
   for (int i = 2; i < argc; ++i) {
     const bool has_value = i + 1 < argc;
     if (std::strcmp(argv[i], "--cycles") == 0 && has_value) {
@@ -139,6 +152,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--campaign-replay") == 0 && has_value) {
       campaign_mode = true;
       campaign_replay = std::strtoll(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--latency-audit") == 0) {
+      latency_audit = true;
+    } else if (std::strcmp(argv[i], "--flight-out") == 0 && has_value) {
+      latency_audit = true;
+      flight_out = argv[++i];
     }
   }
 
@@ -174,7 +192,8 @@ int main(int argc, char** argv) {
                 << out.total_escalations << " escalations, "
                 << out.non_converged << " non-converged, "
                 << out.conservation_violations
-                << " budget-conservation violations\n";
+                << " budget-conservation violations, "
+                << out.total_bound_violations << " WCLA bound violations\n";
       if (!campaign_out.empty()) {
         std::cerr << "axihc: wrote campaign results to " << campaign_out
                   << "\n";
@@ -217,6 +236,7 @@ int main(int argc, char** argv) {
     if (!trace_out.empty()) obs.trace = true;
     if (!metrics_out.empty()) obs.metrics = true;
     if (sample_every != 0) obs.sample_every = sample_every;
+    if (latency_audit) obs.latency_audit = true;
     // Kernel fast-forward is on by default and bit-exact; --no-fast-forward
     // forces the naive one-tick-per-cycle loop (kernel debugging aid).
     system->soc().sim().set_fast_forward(fast_forward);
@@ -228,6 +248,20 @@ int main(int argc, char** argv) {
 
     system->run(override_cycles);
     std::cout << system->report();
+    const axihc::LatencyAudit* audit = system->latency_audit();
+    if (audit != nullptr) {
+      std::cout << "\n";
+      audit->write_rollup(std::cout);
+    }
+    if (!flight_out.empty() && audit != nullptr) {
+      std::ofstream out(flight_out);
+      if (!out) {
+        std::cerr << "axihc: cannot write '" << flight_out << "'\n";
+        return 1;
+      }
+      audit->flight_recorder().write_jsonl(out);
+      std::cerr << "axihc: wrote flight records to " << flight_out << "\n";
+    }
     if (print_digest) {
       // Machine-checkable bit-identity: equal configs must print equal
       // digests at any --threads / fast-forward setting.
@@ -252,6 +286,11 @@ int main(int argc, char** argv) {
       }
       system->write_metrics_csv(out);
       std::cerr << "axihc: wrote metrics to " << metrics_out << "\n";
+    }
+    if (audit != nullptr && audit->bound_violations() != 0) {
+      std::cerr << "axihc: " << audit->bound_violations()
+                << " transaction(s) exceeded the analytic WCLA bound\n";
+      return 1;
     }
   } catch (const axihc::ModelError& e) {
     std::cerr << "axihc: " << e.what() << "\n";
