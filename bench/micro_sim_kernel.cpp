@@ -79,7 +79,7 @@ BENCHMARK(BM_HyperConnectSystemCycle)->Arg(2)->Arg(4)->Arg(8);
 // the headline "simulated cycles per wall-second" number guarded by
 // BENCH_kernel.json; the throttled DMA windows and DNN compute phases are
 // exactly the quiescent stretches the kernel fast path exists to skip.
-void BM_Fig5ContentionSystem(benchmark::State& state) {
+void fig5_contention_run(benchmark::State& state, BackendKind backend) {
   const std::uint64_t scale = 64;  // fig5 shapes, sized for bench iterations
   std::uint64_t cycles = 0;
   for (auto _ : state) {
@@ -94,6 +94,7 @@ void BM_Fig5ContentionSystem(benchmark::State& state) {
     DmaEngine dma("ha_dma", soc.port(1), bench::paper_dma(scale, 0));
     soc.add(dnn);
     soc.add(dma);
+    soc.sim().set_backend(backend);
     soc.sim().reset();
     soc.sim().run_until(
         [&] { return dnn.finished() && dma.jobs_completed() >= 2; },
@@ -104,7 +105,81 @@ void BM_Fig5ContentionSystem(benchmark::State& state) {
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
+
+void BM_Fig5ContentionSystem(benchmark::State& state) {
+  fig5_contention_run(state, BackendKind::kAuto);
+}
 BENCHMARK(BM_Fig5ContentionSystem)->Unit(benchmark::kMillisecond);
+
+// Maps the benchmark Arg (0 = scalar, 1 = sse2, 2 = avx2) to a backend and
+// verifies it is what would actually execute: skipped when the host lacks
+// the ISA or AXIHC_FORCE_BACKEND repoints the choice (the CI backend matrix
+// pins the env per leg; the per-arg variants would otherwise run mislabeled
+// kernels). The skip message carries the full policy report.
+bool backend_for_arg(benchmark::State& state, BackendKind& out) {
+  out = state.range(0) == 0   ? BackendKind::kScalar
+        : state.range(0) == 1 ? BackendKind::kSse2
+                              : BackendKind::kAvx2;
+  const BackendPolicy policy = resolve_backend(out);
+  if (policy.chosen != out) {
+    state.SkipWithError(policy.report().c_str());
+    return false;
+  }
+  state.SetLabel(to_string(out));
+  return true;
+}
+
+// Per-backend variants of the headline number (CI backend matrix);
+// unsupported or env-overridden ISAs are skipped, so the matrix is safe to
+// run on any host.
+void BM_Fig5ContentionBackend(benchmark::State& state) {
+  BackendKind requested;
+  if (!backend_for_arg(state, requested)) return;
+  fig5_contention_run(state, requested);
+}
+BENCHMARK(BM_Fig5ContentionBackend)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// The sweep kernels in isolation: one dense commit pass / one certificate
+// min-reduction over a 512-lane synthetic pool per iteration. Pure kernel
+// cost, no system around it — the number the --auto-tune probe estimates.
+void BM_CommitDenseKernel(benchmark::State& state) {
+  BackendKind requested;
+  if (!backend_for_arg(state, requested)) return;
+  const BackendKernels& kernels = kernels_for(requested);
+  std::vector<ChannelHot> lanes(512);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    lanes[i].committed = static_cast<std::uint32_t>(i % 7);
+    lanes[i].staged = static_cast<std::uint32_t>(i % 3);
+    lanes[i].snapshot = lanes[i].committed;
+  }
+  for (auto _ : state) {
+    kernels.commit_dense(lanes.data(), lanes.size());
+    benchmark::DoNotOptimize(lanes.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * lanes.size()));
+}
+BENCHMARK(BM_CommitDenseKernel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MinReduceKernel(benchmark::State& state) {
+  BackendKind requested;
+  if (!backend_for_arg(state, requested)) return;
+  const BackendKernels& kernels = kernels_for(requested);
+  std::vector<Cycle> certs(512);
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    certs[i] = (i % 11 == 0) ? kNoCycle : 1000 + i * 37;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels.min_reduce(certs.data(), certs.size()));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * certs.size()));
+}
+BENCHMARK(BM_MinReduceKernel)->Arg(0)->Arg(1)->Arg(2);
 
 // Observability cost pair: the same busy 2-port DMA system with no
 // observability objects at all vs. with an EventTrace attached-but-disabled

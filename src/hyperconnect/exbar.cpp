@@ -26,12 +26,17 @@ void Exbar::reset() {
 
 std::optional<PortIndex> Exbar::pick(
     std::vector<TimingChannel<AddrReq>*>& chans, PortIndex& rr) const {
+  // The candidate scan wraps rr+i with a compare-subtract instead of a
+  // modulo: both operands are < num_ports_, and the hardware divide was the
+  // single hottest instruction of the whole kernel (per-port, per-channel,
+  // per-cycle).
   if (policy_ == ArbitrationPolicy::kQosPriority) {
     // Highest AxQOS wins; round-robin pointer breaks ties among equals.
     std::optional<PortIndex> best;
     std::uint8_t best_qos = 0;
     for (std::uint32_t i = 0; i < num_ports_; ++i) {
-      const PortIndex cand = (rr + i) % num_ports_;
+      PortIndex cand = rr + i;
+      if (cand >= num_ports_) cand -= num_ports_;
       if (!chans[cand]->can_pop()) continue;
       const std::uint8_t qos = chans[cand]->front().qos;
       if (!best.has_value() || qos > best_qos) {
@@ -44,7 +49,8 @@ std::optional<PortIndex> Exbar::pick(
   // Fixed granularity round-robin: after granting port p, the pointer moves
   // past p, so each port gets at most one transaction per round-cycle.
   for (std::uint32_t i = 0; i < num_ports_; ++i) {
-    const PortIndex cand = (rr + i) % num_ports_;
+    PortIndex cand = rr + i;
+    if (cand >= num_ports_) cand -= num_ports_;
     if (chans[cand]->can_pop()) return cand;
   }
   return std::nullopt;
@@ -59,7 +65,7 @@ std::optional<PortIndex> Exbar::grant_read(
   if (!cand.has_value()) return std::nullopt;
   out.push(ts_ar[*cand]->pop());
   if (order_based_) read_route_.push({*cand});
-  rr_ar_ = (*cand + 1) % num_ports_;
+  rr_ar_ = *cand + 1 == num_ports_ ? 0 : *cand + 1;
   return cand;
 }
 
@@ -75,7 +81,7 @@ std::optional<PortIndex> Exbar::grant_write(
   write_route_.push({*cand, req.beats, req.tag != 0});
   if (order_based_) b_route_.push(*cand);
   out.push(req);
-  rr_aw_ = (*cand + 1) % num_ports_;
+  rr_aw_ = *cand + 1 == num_ports_ ? 0 : *cand + 1;
   return cand;
 }
 

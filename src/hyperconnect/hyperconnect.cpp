@@ -80,12 +80,19 @@ void HyperConnect::register_with(Simulator& sim) {
   control_link_.register_with(sim);
 }
 
+void HyperConnect::adopt_hot_state(HotStatePool& pool) {
+  budget_left_.adopt(pool, this, "budget_left");
+  recharge_next_.adopt(pool, this, "recharge_deadline");
+}
+
 void HyperConnect::reset() {
   runtime_ = make_runtime(cfg_);
   for (auto& ts : ts_) ts->reset();
   for (auto& pu : pu_) pu->reset();
   exbar_.reset();
   budget_left_ = runtime_.budgets;
+  recharge_next_.set(0);
+  recharge_period_ = 0;
   recharges_ = 0;
   faults_latched_ = 0;
   for (PortIndex i = 0; i < num_ports(); ++i) {
@@ -95,6 +102,7 @@ void HyperConnect::reset() {
     owed_b_[i].clear();
     mutable_counters(i) = PortCounters{};
   }
+  owed_pending_ = 0;
 }
 
 std::string HyperConnect::port_source(PortIndex i) const {
@@ -125,13 +133,11 @@ void HyperConnect::register_metrics(MetricsRegistry& reg) {
   reg.add_counter(name() + ".faults_latched", &faults_latched_);
   for (PortIndex i = 0; i < num_ports(); ++i) {
     const std::string p = port_source(i);
-    reg.add_gauge(p + ".budget_left",
-                  [this, i] { return static_cast<double>(budget_left_[i]); });
+    reg.add_gauge(p + ".budget_left", [this, i] {
+      return static_cast<double>(budget_left_.get(i));
+    });
     reg.add_gauge(p + ".efifo_level", [this, i] {
-      AxiLink& link = efifos_[i].link();
-      return static_cast<double>(link.ar.size() + link.aw.size() +
-                                 link.w.size() + link.r.size() +
-                                 link.b.size());
+      return static_cast<double>(efifos_[i].level());
     });
     reg.add_gauge(p + ".reads_outstanding", [this, i] {
       return static_cast<double>(ts_[i]->reads_outstanding());
@@ -225,6 +231,7 @@ void HyperConnect::tick_central_unit(Cycle now) {
       for (std::size_t n = owed_r_[i].size() + owed_b_[i].size(); n != 0;
            --n) {
         pu_[i]->count_synth_drop();
+        --owed_pending_;
       }
       owed_r_[i].clear();
       owed_b_[i].clear();
@@ -242,21 +249,35 @@ void HyperConnect::tick_central_unit(Cycle now) {
     }
     efifos_[i].set_faulted(faulted);
   }
-  // Synchronous budget recharge for all TS modules every period T.
-  if (runtime_.reservation_period != 0 &&
-      now % runtime_.reservation_period == 0) {
-    if (tracing()) {
-      trace_->record(now, name() + ".central", "window_recharge");
-      // Budget consumed in the window that just closed, per port — the
-      // reservation-window accounting behind the Fig. 5 bandwidth plots.
-      for (PortIndex i = 0; i < num_ports(); ++i) {
-        trace_->record_counter(
-            now, port_source(i), "budget_used",
-            static_cast<double>(runtime_.budgets[i] - budget_left_[i]));
-      }
+  // Synchronous budget recharge for all TS modules every period T. The
+  // boundary test is `now % T == 0`, but the divide runs only when the
+  // cached next-boundary deadline is due (or stale after a runtime period
+  // write): between boundaries this is a single compare.
+  const Cycle period = runtime_.reservation_period;
+  if (period != 0) {
+    if (period != recharge_period_) {
+      recharge_period_ = period;
+      recharge_next_.set(0);  // stale: re-derive from `now` below
     }
-    budget_left_ = runtime_.budgets;
-    ++recharges_;
+    if (now >= recharge_next_.get()) {
+      if (now % period == 0) {
+        if (tracing()) {
+          trace_->record(now, name() + ".central", "window_recharge");
+          // Budget consumed in the window that just closed, per port — the
+          // reservation-window accounting behind the Fig. 5 bandwidth
+          // plots.
+          for (PortIndex i = 0; i < num_ports(); ++i) {
+            trace_->record_counter(
+                now, port_source(i), "budget_used",
+                static_cast<double>(runtime_.budgets[i] -
+                                    budget_left_.get(i)));
+          }
+        }
+        budget_left_ = runtime_.budgets;
+        ++recharges_;
+      }
+      recharge_next_.set((now / period + 1) * period);
+    }
   }
 }
 
@@ -328,16 +349,24 @@ void HyperConnect::trigger_fault(PortIndex i, FaultCause cause, Cycle now) {
   // behind whatever legitimate beats were kept above), so none is ever
   // dropped on a full queue.
   for (const auto& rec : pu_[i]->reads()) {
-    if (rec.is_final) owed_r_[i].push_back({rec.id, 0, true, Resp::kSlvErr});
+    if (rec.is_final) {
+      owed_r_[i].push_back({rec.id, 0, true, Resp::kSlvErr});
+      ++owed_pending_;
+    }
   }
   if (const auto id = ts_[i]->active_read_id()) {
     owed_r_[i].push_back({*id, 0, true, Resp::kSlvErr});
+    ++owed_pending_;
   }
   for (const auto& rec : pu_[i]->writes()) {
-    if (rec.is_final) owed_b_[i].push_back({rec.id, Resp::kSlvErr});
+    if (rec.is_final) {
+      owed_b_[i].push_back({rec.id, Resp::kSlvErr});
+      ++owed_pending_;
+    }
   }
   if (const auto id = ts_[i]->active_write_id()) {
     owed_b_[i].push_back({*id, Resp::kSlvErr});
+    ++owed_pending_;
   }
   ts_[i]->abort_pending_issue();
   pu_[i]->clear_stalls();
@@ -533,16 +562,22 @@ void HyperConnect::tick(Cycle now) {
 
   // Deliver owed synthesized completions as R/B capacity frees. Runs before
   // the data paths so owed beats always land ahead of any newer traffic.
-  for (PortIndex i = 0; i < num_ports(); ++i) {
-    if (!efifos_[i].coupled()) continue;
-    AxiLink& link = port_link(i);
-    while (!owed_r_[i].empty() && link.r.can_push()) {
-      link.r.push(owed_r_[i].front());
-      owed_r_[i].pop_front();
-    }
-    while (!owed_b_[i].empty() && link.b.can_push()) {
-      link.b.push(owed_b_[i].front());
-      owed_b_[i].pop_front();
+  // owed_pending_ counts queued completions across all ports, so the
+  // fault-free common case skips the per-port deque walk entirely.
+  if (owed_pending_ != 0) {
+    for (PortIndex i = 0; i < num_ports(); ++i) {
+      if (!efifos_[i].coupled()) continue;
+      AxiLink& link = port_link(i);
+      while (!owed_r_[i].empty() && link.r.can_push()) {
+        link.r.push(owed_r_[i].front());
+        owed_r_[i].pop_front();
+        --owed_pending_;
+      }
+      while (!owed_b_[i].empty() && link.b.can_push()) {
+        link.b.push(owed_b_[i].front());
+        owed_b_[i].pop_front();
+        --owed_pending_;
+      }
     }
   }
 
@@ -602,7 +637,7 @@ void HyperConnect::tick(Cycle now) {
                                  std::uint32_t outstanding,
                                  const TimingChannel<AddrReq>& stage) {
       if (!runtime_.global_enable) return LatencyCause::kBackpressure;
-      if (runtime_.reservation_period != 0 && budget_left_[i] == 0) {
+      if (runtime_.reservation_period != 0 && budget_left_.get(i) == 0) {
         return LatencyCause::kBudgetWait;
       }
       if (!stage.can_push()) return LatencyCause::kArbitration;

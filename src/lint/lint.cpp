@@ -149,6 +149,7 @@ LintReport DesignRuleChecker::run() const {
   check_address_map(report);
   check_widths(report);
   check_ledger(report);
+  check_pool_slots(report);
   return report;
 }
 
@@ -331,6 +332,42 @@ void DesignRuleChecker::check_ledger(LintReport& report) const {
                     ")",
                 "keep tick() two-phase: stage pushes, consume committed "
                 "elements, and leave commit() to the engine"});
+  }
+}
+
+void DesignRuleChecker::check_pool_slots(LintReport& report) const {
+  const HotStatePool& pool = sim_->hot_pool();
+  const auto& slots = pool.slots();
+  for (std::uint32_t s = 0; s < slots.size(); ++s) {
+    const HotStatePool::SlotInfo& slot = slots[s];
+    if (slot.owner == nullptr) {
+      report.add({LintSeverity::kWarning, "undeclared-pool-slot",
+                  "pool:" + slot.what,
+                  "hot-state pool slot '" + slot.what + "' (" +
+                      std::to_string(slot.words) +
+                      " words) was allocated without an owning component — "
+                      "its writes cannot be audited against the island "
+                      "partition",
+                  "pass the owning component to alloc_u32/alloc_u64 "
+                  "(adopt() from the component's adopt_hot_state)"});
+      continue;
+    }
+    // Ledger cross-check (AXIHC_PHASE_CHECK builds; empty otherwise): pool
+    // writes are stamped like channel writes, so a foreign island-scope
+    // writer is the slot analogue of undeclared-endpoint.
+    for (const Component* accessor : pool.slot_accessors(s)) {
+      if (accessor == slot.owner ||
+          accessor->tick_scope() == TickScope::kSerial) {
+        continue;
+      }
+      report.add({LintSeverity::kError, "undeclared-pool-slot",
+                  accessor->name(),
+                  "island-scope component wrote hot-state pool slot '" +
+                      slot.what + "' owned by '" + slot.owner->name() +
+                      "' — island partitioning cannot see this edge",
+                  "move the shared state behind a channel, or return "
+                  "TickScope::kSerial until the component is audited"});
+    }
   }
 }
 

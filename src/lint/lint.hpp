@@ -17,7 +17,11 @@
 //   island-scope-violation  island-scope component touched a channel owned
 //                           by another island (ledger)
 //   phase-race              two-phase discipline violation recorded by the
-//                           race detector (sim/phase_check.hpp)
+//                           race detector (sim/phase_check.hpp); covers
+//                           hot-pool slot writes during the commit phase
+//   undeclared-pool-slot    hot-state pool slot (sim/soa_pool.hpp) with no
+//                           owner declaration, or written by an island-scope
+//                           component other than its owner (ledger)
 //   unconnected-link        a port bundle with fewer than two attached
 //                           components (dangling master/slave port)
 //   address-overlap         overlapping decode-map entries, or two HA job
@@ -153,6 +157,7 @@ class DesignRuleChecker {
   void check_address_map(LintReport& report) const;
   void check_widths(LintReport& report) const;
   void check_ledger(LintReport& report) const;
+  void check_pool_slots(LintReport& report) const;
 
   const Simulator* sim_;
   std::vector<LinkExpectation> links_;

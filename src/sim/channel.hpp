@@ -37,6 +37,7 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "sim/digest.hpp"
+#include "sim/soa_pool.hpp"
 
 namespace axihc {
 
@@ -55,6 +56,26 @@ class ChannelBase {
 
   /// Hardware reset: drop all contents.
   virtual void reset() = 0;
+
+  /// Pool adoption (Simulator elaboration): moves this channel's hot words
+  /// into pool lane `index` at address `lane` and repoints the handle.
+  /// Returns false (default) for channel types without pooled hot state —
+  /// the Simulator then keeps committing them through virtual commit() and
+  /// leaves the (all-zero, hence sweep-neutral) lane unused. Called again
+  /// after any pool growth; re-adoption of the same lane is a no-op.
+  virtual bool adopt_hot_lane(ChannelHot* lane, std::uint32_t index) {
+    (void)lane;
+    (void)index;
+    return false;
+  }
+
+  /// Detaches from the pool (Simulator teardown): copies the hot words back
+  /// into channel-local storage so the channel outliving its Simulator
+  /// remains fully usable.
+  virtual void release_hot_lane() {}
+
+  /// Pool lane index, or kNoLane when not pooled.
+  [[nodiscard]] std::uint32_t pool_lane() const { return lane_; }
 
   /// Folds the committed + staged contents and traffic counters into `d`
   /// (Simulator::state_digest). Default: no content to report.
@@ -98,18 +119,28 @@ class ChannelBase {
   /// state change that a commit must observe: push (staged data), pop and
   /// flush (the next snapshot changes).
   ///
-  /// The epoch stamp guards against duplicate enqueues within one cycle: a
-  /// mid-cycle manual commit() clears dirty_, so a second touch in the same
-  /// cycle would re-enqueue under a dirty_-only guard and the commit phase
-  /// would commit (and re-snapshot) the channel twice. The stamp survives
-  /// clear_dirty(), so the channel stays enqueued exactly once per epoch.
+  /// Registered channels dedup purely on the epoch stamp: a mid-cycle
+  /// manual commit() must not cause a second enqueue (the commit phase
+  /// would commit and re-snapshot twice), and the stamp — unlike the dirty_
+  /// flag — survives clear_dirty(), so the channel stays enqueued exactly
+  /// once per epoch. Pooled channels enqueue their lane index (committed by
+  /// the backend kernels); only unpooled ones enqueue a pointer for the
+  /// virtual-commit fallback. Standalone channels just set the local flag
+  /// (which Simulator::add also checks, so pre-registration pushes commit
+  /// at the end of the first cycle).
   void mark_dirty() {
-    if (dirty_) return;
+    if (epoch_ != nullptr) {
+      if (enqueue_epoch_ == *epoch_) return;  // already enqueued this cycle
+      enqueue_epoch_ = *epoch_;
+      dirty_ = true;
+      if (lane_ != kNoLane) {
+        lane_list_->push_back(lane_);
+      } else {
+        dirty_list_->push_back(this);
+      }
+      return;
+    }
     dirty_ = true;
-    if (dirty_list_ == nullptr) return;
-    if (enqueue_epoch_ == *epoch_) return;  // already on the list this cycle
-    enqueue_epoch_ = *epoch_;
-    dirty_list_->push_back(this);
   }
 
   /// commit() implementations call this so a later change re-enqueues.
@@ -149,12 +180,21 @@ class ChannelBase {
   mutable std::vector<const Component*> ledger_accessors_;
   mutable std::uint64_t ledger_commit_epoch_ = 0;
 #endif
-  // Commit list this channel enqueues itself on: the Simulator's main dirty
-  // list, or (island engine) its island's local list. Null when standalone.
+  // Commit lists this channel enqueues itself on: the Simulator's main
+  // lists, or (island engine) its island's local lists. Null when
+  // standalone. Pooled channels (lane_ != kNoLane) enqueue their lane on
+  // lane_list_; unpooled ones enqueue themselves on dirty_list_.
   std::vector<ChannelBase*>* dirty_list_ = nullptr;
+  std::vector<std::uint32_t>* lane_list_ = nullptr;
   const std::uint64_t* epoch_ = nullptr;  // Simulator's cycle epoch counter
   std::uint64_t enqueue_epoch_ = 0;       // epoch of the last enqueue
+  std::uint32_t lane_ = kNoLane;          // pool lane (set via adopt_hot_lane)
   bool dirty_ = false;
+
+ protected:
+  /// For adopt_hot_lane overrides (lane_ itself is private to keep the
+  /// dedup machinery in one place).
+  void set_pool_lane(std::uint32_t lane) { lane_ = lane; }
 };
 
 template <typename T>
@@ -163,22 +203,28 @@ class TimingChannel final : public ChannelBase {
   /// A channel with `capacity` storage slots (the register/FIFO depth of the
   /// link). Capacity 1 models a plain pipeline register.
   TimingChannel(std::string name, std::size_t capacity)
-      : ChannelBase(std::move(name)), capacity_(capacity), slots_(capacity) {
+      : ChannelBase(std::move(name)),
+        capacity_(static_cast<std::uint32_t>(capacity)),
+        slots_(capacity) {
     AXIHC_CHECK(capacity_ > 0);
+    // The hot counter words are u32 pool lanes (sim/soa_pool.hpp); cap well
+    // below the u32 range so occupancy sums can never wrap.
+    AXIHC_CHECK(capacity <= (std::size_t{1} << 30));
   }
 
   /// True if the producer may push this cycle (backpressure check).
   [[nodiscard]] bool can_push() const {
     ledger_on_peek();
-    return snapshot_ + staged_ < capacity_;
+    return hot_->snapshot + hot_->staged < capacity_;
   }
 
   /// Stages `value` for delivery next cycle. Requires can_push().
   void push(T value) {
     ledger_on_write();
     AXIHC_CHECK_MSG(can_push(), "push on full channel '" << name() << "'");
-    slots_[wrap(head_ + committed_ + staged_)] = std::move(value);
-    ++staged_;
+    slots_[wrap(hot_->head + hot_->committed + hot_->staged)] =
+        std::move(value);
+    ++hot_->staged;
     ++total_pushes_;
     mark_dirty();
   }
@@ -186,28 +232,28 @@ class TimingChannel final : public ChannelBase {
   /// True if the consumer can pop a (previously committed) element.
   [[nodiscard]] bool can_pop() const {
     ledger_on_peek();
-    return committed_ != 0;
+    return hot_->committed != 0;
   }
 
   [[nodiscard]] bool empty() const {
     ledger_on_peek();
-    return committed_ == 0;
+    return hot_->committed == 0;
   }
 
   /// Oldest committed element. Requires can_pop().
   [[nodiscard]] const T& front() const {
     ledger_on_read();
     AXIHC_CHECK_MSG(can_pop(), "front on empty channel '" << name() << "'");
-    return slots_[head_];
+    return slots_[hot_->head];
   }
 
   /// Removes and returns the oldest committed element. Requires can_pop().
   T pop() {
     ledger_on_read();
     AXIHC_CHECK_MSG(can_pop(), "pop on empty channel '" << name() << "'");
-    T value = std::move(slots_[head_]);
-    head_ = wrap(head_ + 1);
-    --committed_;
+    T value = std::move(slots_[hot_->head]);
+    hot_->head = wrap(hot_->head + 1);
+    --hot_->committed;
     ++total_pops_;
     mark_dirty();  // the next cycle's occupancy snapshot must drop
     return value;
@@ -216,7 +262,7 @@ class TimingChannel final : public ChannelBase {
   /// Committed elements currently queued (in-flight occupancy).
   [[nodiscard]] std::size_t size() const {
     ledger_on_peek();
-    return committed_;
+    return hot_->committed;
   }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
@@ -232,9 +278,9 @@ class TimingChannel final : public ChannelBase {
 
   void commit() override {
     ledger_on_commit();
-    committed_ += staged_;
-    staged_ = 0;
-    snapshot_ = committed_;
+    hot_->committed += hot_->staged;
+    hot_->staged = 0;
+    hot_->snapshot = hot_->committed;
     clear_dirty();
   }
 
@@ -244,14 +290,31 @@ class TimingChannel final : public ChannelBase {
     total_pops_ = 0;
   }
 
+  bool adopt_hot_lane(ChannelHot* lane, std::uint32_t index) override {
+    if (hot_ != lane) {
+      *lane = *hot_;
+      hot_ = lane;
+    }
+    set_pool_lane(index);
+    return true;
+  }
+
+  void release_hot_lane() override {
+    if (hot_ != &inline_hot_) {
+      inline_hot_ = *hot_;
+      hot_ = &inline_hot_;
+    }
+    set_pool_lane(kNoLane);
+  }
+
   void append_digest(StateDigest& d) const override {
     d.mix(name());
-    d.mix(static_cast<std::uint64_t>(committed_));
-    d.mix(static_cast<std::uint64_t>(staged_));
+    d.mix(static_cast<std::uint64_t>(hot_->committed));
+    d.mix(static_cast<std::uint64_t>(hot_->staged));
     d.mix(total_pushes_);
     d.mix(total_pops_);
-    for (std::size_t i = 0; i < committed_ + staged_; ++i) {
-      digest_detail::fold(d, slots_[wrap(head_ + i)]);
+    for (std::uint32_t i = 0; i < hot_->committed + hot_->staged; ++i) {
+      digest_detail::fold(d, slots_[wrap(hot_->head + i)]);
     }
   }
 
@@ -261,26 +324,26 @@ class TimingChannel final : public ChannelBase {
   /// decoupled port) does not keep marking the channel dirty.
   void clear_contents() {
     ledger_on_flush();
-    if (committed_ == 0 && staged_ == 0 && snapshot_ == 0) return;
-    head_ = 0;
-    committed_ = 0;
-    staged_ = 0;
-    snapshot_ = 0;
+    ChannelHot& h = *hot_;
+    if (h.committed == 0 && h.staged == 0 && h.snapshot == 0) return;
+    h = ChannelHot{};
     mark_dirty();
   }
 
  private:
-  [[nodiscard]] std::size_t wrap(std::size_t i) const {
+  [[nodiscard]] std::uint32_t wrap(std::uint32_t i) const {
     // Capacities are arbitrary (not power-of-two); a compare beats div.
     return i >= capacity_ ? i - capacity_ : i;
   }
 
-  std::size_t capacity_;
-  std::vector<T> slots_;          // fixed ring: [head_, +committed_) visible,
-  std::size_t head_ = 0;          // then [.., +staged_) pending commit
-  std::size_t committed_ = 0;
-  std::size_t staged_ = 0;
-  std::size_t snapshot_ = 0;      // occupancy at cycle start
+  std::uint32_t capacity_;
+  std::vector<T> slots_;  // fixed ring: [head, +committed) visible,
+                          // then [.., +staged) pending commit
+  // Hot counter words: channel-local until the owning Simulator's pool
+  // adopts them (adopt_hot_lane), after which hot_ points at the pool lane.
+  // Accessors are layout-blind — same code either way.
+  ChannelHot inline_hot_;
+  ChannelHot* hot_ = &inline_hot_;
   std::uint64_t total_pushes_ = 0;
   std::uint64_t total_pops_ = 0;
 };

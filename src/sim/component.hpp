@@ -10,6 +10,8 @@
 
 namespace axihc {
 
+class HotStatePool;
+
 /// What a component's tick() may touch — the contract the island engine
 /// (src/sim/island.hpp) partitions on.
 enum class TickScope : std::uint8_t {
@@ -53,6 +55,14 @@ class Component {
   /// components' state being unchanged across the skipped stretch. Must not
   /// mutate any state (it runs on cycles that are then skipped).
   [[nodiscard]] virtual Cycle next_activity(Cycle now) const { return now; }
+
+  /// Hot-state adoption hook (sim/soa_pool.hpp): called once per component
+  /// at elaboration time by the owning Simulator. Components with per-cycle
+  /// hot scalars (budget counters, deadline caches) move them into the pool
+  /// here via PooledWords/PooledCycle::adopt, declaring themselves as the
+  /// slot owner; axihc-lint cross-checks observed writers against that
+  /// declaration. Default: nothing to pool.
+  virtual void adopt_hot_state(HotStatePool& pool) { (void)pool; }
 
   /// Parallel-tick contract (see TickScope). Default kSerial: a component
   /// that has not audited its tick() for foreign-state access must not be

@@ -29,7 +29,13 @@ struct Island {
   // their seq tags alongside.
   std::vector<Component*> components;  // ascending registration index
   std::vector<std::uint32_t> seq;      // global registration index per entry
-  std::vector<ChannelBase*> dirty;     // island-local commit list
+  std::vector<ChannelBase*> dirty;     // island-local commit list (unpooled)
+  // Island-local commit list of pooled channel lanes (sim/soa_pool.hpp):
+  // committed by the backend kernels instead of virtual commit(). seq[]
+  // doubles as the island's slice into the certificate array — cert lane ==
+  // global registration index — so per-island fast-forward refreshes
+  // compose with the pooled reduction without a relayout.
+  std::vector<std::uint32_t> dirty_lanes;
   TraceStagingBuffer staging;          // per-island trace sink
 
   /// Fast-forward reduce: min next_activity over members, clipped to

@@ -17,21 +17,32 @@
 
 namespace axihc {
 
+Simulator::Simulator()
+    : policy_(resolve_backend(BackendKind::kAuto)),
+      kernels_(&kernels_for(policy_.chosen)) {}
+
+Simulator::~Simulator() = default;
+
 void Simulator::add(Component& component) {
   components_.push_back(&component);
   partition_stale_ = true;
+  pool_stale_ = true;
 }
 
 void Simulator::add(ChannelBase& channel) {
   channels_.push_back(&channel);
-  // New channels start on the main list; ensure_wiring() retargets them to
-  // their island's list before the next compute phase.
+  // New channels start on the main lists; ensure_wiring() retargets them to
+  // their island's lists before the next compute phase, and finalize_pool()
+  // adopts their hot words into the pool.
   channel.dirty_list_ = &dirty_;
+  channel.lane_list_ = &main_lanes_;
   channel.epoch_ = &epoch_;
   channel.enqueue_epoch_ = 0;
   partition_stale_ = true;
+  pool_stale_ = true;
   // A channel touched before registration (pushes staged during setup) must
-  // still be committed at the end of the first cycle.
+  // still be committed at the end of the first cycle. It has no lane yet,
+  // so it goes on the pointer list (the virtual-commit path).
   if (channel.dirty_) {
     channel.enqueue_epoch_ = epoch_;
     dirty_.push_back(&channel);
@@ -44,8 +55,10 @@ void Simulator::reset() {
   // Commit once so occupancy snapshots start from the empty state.
   for (auto* ch : channels_) ch->commit();
   dirty_.clear();
+  main_lanes_.clear();
   for (auto& isl : part_.islands) {
     isl.dirty.clear();
+    isl.dirty_lanes.clear();
     isl.staging.clear();
   }
   // Invalidate stale enqueue stamps: the lists were cleared wholesale, so a
@@ -56,28 +69,35 @@ void Simulator::reset() {
 }
 
 bool Simulator::no_pending_commits() const {
-  if (!dirty_.empty()) return false;
+  if (!dirty_.empty() || !main_lanes_.empty()) return false;
   for (const auto& isl : part_.islands) {
-    if (!isl.dirty.empty()) return false;
+    if (!isl.dirty.empty() || !isl.dirty_lanes.empty()) return false;
   }
   return true;
 }
 
 void Simulator::ensure_wiring() {
   const bool want = engine_active();
-  if (want == island_wiring_ && (!want || !partition_stale_)) return;
-  rewire(want);
+  if (want != island_wiring_ || (want && partition_stale_)) rewire(want);
+  if (pool_stale_) finalize_pool();
 }
 
 void Simulator::rewire(bool want_islands) {
   // Channels already enqueued for commit must survive the retarget: collect
   // them, move the lists, re-enqueue. Their epoch stamps stay valid, so they
-  // remain enqueued exactly once.
+  // remain enqueued exactly once. Lane indices are stable across rewires
+  // (lane == registration index), only the target list changes.
   std::vector<ChannelBase*> pending(dirty_.begin(), dirty_.end());
   dirty_.clear();
+  std::vector<std::uint32_t> pending_lanes(main_lanes_.begin(),
+                                           main_lanes_.end());
+  main_lanes_.clear();
   for (auto& isl : part_.islands) {
     pending.insert(pending.end(), isl.dirty.begin(), isl.dirty.end());
     isl.dirty.clear();
+    pending_lanes.insert(pending_lanes.end(), isl.dirty_lanes.begin(),
+                         isl.dirty_lanes.end());
+    isl.dirty_lanes.clear();
   }
   if (want_islands) {
     if (partition_stale_) {
@@ -86,15 +106,60 @@ void Simulator::rewire(bool want_islands) {
     }
     for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
       const std::size_t isl = part_.channel_island[ci];
-      channels_[ci]->dirty_list_ = isl == IslandPartition::kUnassigned
-                                       ? &dirty_
-                                       : &part_.islands[isl].dirty;
+      const bool main = isl == IslandPartition::kUnassigned;
+      channels_[ci]->dirty_list_ = main ? &dirty_ : &part_.islands[isl].dirty;
+      channels_[ci]->lane_list_ =
+          main ? &main_lanes_ : &part_.islands[isl].dirty_lanes;
     }
   } else {
-    for (auto* ch : channels_) ch->dirty_list_ = &dirty_;
+    for (auto* ch : channels_) {
+      ch->dirty_list_ = &dirty_;
+      ch->lane_list_ = &main_lanes_;
+    }
   }
   island_wiring_ = want_islands;
   for (auto* ch : pending) ch->dirty_list_->push_back(ch);
+  for (std::uint32_t lane : pending_lanes) {
+    pool_.lane_channel(lane)->lane_list_->push_back(lane);
+  }
+}
+
+void Simulator::finalize_pool() {
+  pool_.resize_channels(channels_.size());
+  // Growth may have moved the lane array: (re-)install every handle. Lane
+  // index == registration index, so handles already installed just repoint.
+  for (std::size_t ci = 0; ci < channels_.size(); ++ci) {
+    const auto lane = static_cast<std::uint32_t>(ci);
+    const bool pooled = channels_[ci]->adopt_hot_lane(&pool_.hot(lane), lane);
+    pool_.set_lane_channel(lane, pooled ? channels_[ci] : nullptr);
+  }
+  pool_.resize_certs(components_.size());
+  for (std::size_t i = adopted_components_; i < components_.size(); ++i) {
+    components_[i]->adopt_hot_state(pool_);
+  }
+  adopted_components_ = components_.size();
+  pool_stale_ = false;
+}
+
+void Simulator::commit_pooled(std::vector<std::uint32_t>& lanes) {
+  if (lanes.empty()) return;
+#ifdef AXIHC_PHASE_CHECK
+  // The kernels bypass virtual commit(): stamp each dirty lane's ledger the
+  // way TimingChannel::commit would have.
+  for (std::uint32_t lane : lanes) {
+    if (ChannelBase* ch = pool_.lane_channel(lane)) ch->ledger_on_commit();
+  }
+#endif
+  const std::size_t n = pool_.channel_lanes();
+  // Dense sweeps are unconditional over every lane — clean lanes are no-ops
+  // (staged == 0, snapshot == committed) — so the branch-free linear pass
+  // wins as soon as a modest fraction of the pool is dirty.
+  if (lanes.size() * 4 >= n) {
+    kernels_->commit_dense(pool_.hot_data(), n);
+  } else {
+    kernels_->commit_sparse(pool_.hot_data(), lanes.data(), lanes.size());
+  }
+  lanes.clear();
 }
 
 void Simulator::step() {
@@ -116,8 +181,9 @@ void Simulator::step_serial() {
   // Quiet cycles (no push/pop/flush anywhere) are the precondition for even
   // attempting a fast-forward next cycle: busy fabrics touch channels nearly
   // every cycle, so this keeps the next_activity scan off the hot path.
-  last_step_quiet_ = dirty_.empty();
+  last_step_quiet_ = dirty_.empty() && main_lanes_.empty();
   AXIHC_STAMP_PHASE(kCommit);
+  commit_pooled(main_lanes_);
   for (auto* ch : dirty_) ch->commit();
   dirty_.clear();
   AXIHC_STAMP_PHASE(kOutside);
@@ -184,15 +250,23 @@ void Simulator::step_islands() {
   }
 
   // Commit phase: serial, islands in order then the main list — a fixed
-  // permutation of the channels, independent of thread count.
-  bool quiet = dirty_.empty();
-  for (auto& isl : islands) quiet = quiet && isl.dirty.empty();
+  // permutation of the channels, independent of thread count. (Channel
+  // commits are mutually independent, so a dense kernel sweep triggered by
+  // one island's list may commit another island's lanes early; the later
+  // pass over those lanes is an idempotent no-op and the resulting state is
+  // the same fixed point either way.)
+  bool quiet = dirty_.empty() && main_lanes_.empty();
+  for (auto& isl : islands) {
+    quiet = quiet && isl.dirty.empty() && isl.dirty_lanes.empty();
+  }
   last_step_quiet_ = quiet;
   AXIHC_STAMP_PHASE(kCommit);
   for (auto& isl : islands) {
+    commit_pooled(isl.dirty_lanes);
     for (auto* ch : isl.dirty) ch->commit();
     isl.dirty.clear();
   }
+  commit_pooled(main_lanes_);
   for (auto* ch : dirty_) ch->commit();
   dirty_.clear();
   AXIHC_STAMP_PHASE(kOutside);
@@ -206,29 +280,48 @@ void Simulator::advance(Cycle deadline) {
   // (so no commit is pending a snapshot change) and nothing was staged
   // outside a tick since then.
   if (fast_forward_ && last_step_quiet_ && no_pending_commits()) {
-    Cycle target = deadline;
+    // Refresh the certificate array (early-outing on the first active
+    // component), then min-reduce it with the backend kernel. Certificates
+    // are indexed by registration order; the island walk refreshes its
+    // slice through seq[]. next_activity() runs between cycles (no compute
+    // phase in flight), so even cross-island channel reads in
+    // implementations are race-free here.
+    Cycle* certs = pool_.certs();
+    bool active = false;
     if (island_wiring_) {
-      // Reduce per-island next-activity certificates. next_activity() runs
-      // between cycles (no compute phase in flight), so even cross-island
-      // channel reads in implementations are race-free here.
       for (const auto& isl : part_.islands) {
-        target = isl.next_activity(now_, target);
-        if (target <= now_) break;
+        const std::size_t m = isl.components.size();
+        for (std::size_t k = 0; k < m; ++k) {
+          const Cycle na = isl.components[k]->next_activity(now_);
+          if (na <= now_) {
+            active = true;
+            break;
+          }
+          certs[isl.seq[k]] = na;
+        }
+        if (active) break;
       }
     } else {
-      for (const auto* c : components_) {
-        const Cycle na = c->next_activity(now_);
+      const std::size_t m = components_.size();
+      for (std::size_t i = 0; i < m; ++i) {
+        const Cycle na = components_[i]->next_activity(now_);
         if (na <= now_) {
-          target = now_;
+          active = true;
           break;
         }
-        if (na < target) target = na;
+        certs[i] = na;
       }
     }
-    // Every skipped cycle [now_, target) would have been a full-system
-    // no-op: no ticks run, so the certificates stay valid by induction.
-    now_ = target;
-    if (now_ >= deadline) return;
+    if (!active) {
+      Cycle target = deadline;
+      const Cycle lower =
+          kernels_->min_reduce(certs, components_.size());
+      if (lower < target) target = lower;
+      // Every skipped cycle [now_, target) would have been a full-system
+      // no-op: no ticks run, so the certificates stay valid by induction.
+      now_ = target;
+      if (now_ >= deadline) return;
+    }
   }
   if (island_wiring_) {
     step_islands();

@@ -20,15 +20,25 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/backend.hpp"
 #include "sim/channel.hpp"
 #include "sim/component.hpp"
 #include "sim/island.hpp"
+#include "sim/soa_pool.hpp"
 
 namespace axihc {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+
+  // Registration is non-owning in both directions and either side may be
+  // destroyed first, so the destructor must not touch registered channels
+  // or components (they are not told; the pre-existing contract is that a
+  // channel is not used after its Simulator is gone, and vice versa).
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Registers a component (non-owning; caller keeps it alive).
   void add(Component& component);
@@ -81,6 +91,24 @@ class Simulator {
   void set_parallel_tick(bool on) { parallel_tick_ = on; }
   [[nodiscard]] bool parallel_tick() const { return parallel_tick_; }
 
+  /// Selects the sweep-kernel backend (`--backend`). The request is
+  /// resolved against the host CPU and the AXIHC_FORCE_BACKEND override
+  /// (sim/backend.hpp); every Simulator starts on resolve(kAuto). Results
+  /// are bit-identical for every backend — only wall time changes.
+  void set_backend(BackendKind requested) {
+    policy_ = resolve_backend(requested);
+    kernels_ = &kernels_for(policy_.chosen);
+  }
+  /// How the active backend was chosen (policy report line).
+  [[nodiscard]] const BackendPolicy& backend_policy() const {
+    return policy_;
+  }
+
+  /// The hot-state pool (axihc-lint and the phase checker cross-check its
+  /// slot declarations; tests inspect lane adoption).
+  [[nodiscard]] HotStatePool& hot_pool() { return pool_; }
+  [[nodiscard]] const HotStatePool& hot_pool() const { return pool_; }
+
   /// Number of islands the registered topology partitions into (1 when a
   /// serial-scope component collapses the partition). Test/debug hook: lets
   /// bit-identity tests assert that a scenario really is partitioned rather
@@ -122,6 +150,19 @@ class Simulator {
   void ensure_wiring();
   void rewire(bool want_islands);
 
+  /// (Re-)installs pool handles: sizes the lane/cert arrays to the
+  /// registered graph, adopts every channel's hot words (lane == channel
+  /// registration index) and runs adopt_hot_state for components not yet
+  /// asked. Re-run after any registration, since lane-array growth moves
+  /// the handles.
+  void finalize_pool();
+
+  /// Commits the pooled lanes queued on `lanes` through the backend
+  /// kernels: a dense whole-pool sweep when the dirty density is high
+  /// (clean lanes are no-ops by the staged==0 / snapshot==committed
+  /// invariant), a sparse indexed sweep otherwise. Clears `lanes`.
+  void commit_pooled(std::vector<std::uint32_t>& lanes);
+
   void step_serial();
   void step_islands();
   void tick_island(Island& island, bool stage_traces);
@@ -130,6 +171,10 @@ class Simulator {
   std::vector<ChannelBase*> channels_;   // all channels, for reset()
   std::vector<ChannelBase*> dirty_;      // main commit list (serial kernel,
                                          // plus endpoint-less channels)
+  std::vector<std::uint32_t> main_lanes_;  // pooled counterpart of dirty_
+  HotStatePool pool_;
+  BackendPolicy policy_;
+  const BackendKernels* kernels_ = nullptr;  // policy_.chosen's table
   IslandPartition part_;                 // valid when !partition_stale_
   std::vector<TraceStagingBuffer*> staging_scratch_;
   Cycle now_ = 0;
@@ -143,6 +188,8 @@ class Simulator {
   bool last_step_quiet_ = true;  // no channel was touched last cycle
   bool partition_stale_ = true;  // registrations since the last partition
   bool island_wiring_ = false;   // channels currently target island lists
+  bool pool_stale_ = true;       // registrations since the last finalize
+  std::size_t adopted_components_ = 0;  // adopt_hot_state high-water mark
 };
 
 }  // namespace axihc

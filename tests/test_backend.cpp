@@ -1,0 +1,462 @@
+// Sweep-kernel backends (sim/backend.hpp) and the hot-state pool
+// (sim/soa_pool.hpp).
+//
+// Part 1 — kernel unit tests: the SIMD commit and min-reduce kernels are
+// checked element-for-element against the scalar reference over edge shapes
+// (empty arrays, single lanes, vector-width tails, all-quiescent
+// certificates, values straddling the 2^63 sign-bias boundary and the
+// kNoCycle sentinel). Backends the host CPU lacks are skipped.
+//
+// Part 2 — policy/handle tests: backend resolution (explicit request, auto,
+// AXIHC_FORCE_BACKEND override, unparseable override), the auto-tune probe,
+// and PooledWords/PooledCycle adoption semantics.
+//
+// Part 3 — backend-matrix bit-identity: three INI scenarios (Fig. 4-style
+// isolation, Fig. 5-style contention, a fault-recovery run) executed under
+// every available backend × thread count {0, 1, 2, 4} × fast-forward
+// on/off must reproduce the scalar reference bit-for-bit: equal state
+// digests, final cycles and full trace streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config/system_builder.hpp"
+#include "sim/backend.hpp"
+#include "sim/simulator.hpp"
+#include "sim/soa_pool.hpp"
+
+namespace axihc {
+namespace {
+
+std::vector<BackendKind> available_backends() {
+  std::vector<BackendKind> kinds = {BackendKind::kScalar};
+  const CpuFeatures cpu = detect_cpu_features();
+  if (cpu.sse2) kinds.push_back(BackendKind::kSse2);
+  if (cpu.avx2) kinds.push_back(BackendKind::kAvx2);
+  return kinds;
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: kernels vs the scalar reference.
+
+constexpr std::uint64_t kMax64 = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kBias = std::uint64_t{1} << 63;
+
+std::uint64_t reference_min(const std::vector<std::uint64_t>& v) {
+  std::uint64_t best = kMax64;
+  for (std::uint64_t x : v) {
+    if (x < best) best = x;
+  }
+  return best;
+}
+
+TEST(MinReduce, EmptyIslandIsIdentity) {
+  for (BackendKind kind : available_backends()) {
+    const BackendKernels& k = kernels_for(kind);
+    EXPECT_EQ(k.min_reduce(nullptr, 0), kMax64) << to_string(kind);
+  }
+}
+
+TEST(MinReduce, SingleLane) {
+  for (BackendKind kind : available_backends()) {
+    const BackendKernels& k = kernels_for(kind);
+    for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{17},
+                            kBias - 1, kBias, kBias + 1, kMax64}) {
+      EXPECT_EQ(k.min_reduce(&v, 1), v) << to_string(kind);
+    }
+  }
+}
+
+TEST(MinReduce, AllQuiescentStaysNoCycle) {
+  // Every certificate at kNoCycle (== UINT64_MAX): the bound must stay at
+  // the sentinel, not clamp or wrap through the sign-biased compare.
+  std::vector<std::uint64_t> certs(37, kNoCycle);
+  for (BackendKind kind : available_backends()) {
+    const BackendKernels& k = kernels_for(kind);
+    EXPECT_EQ(k.min_reduce(certs.data(), certs.size()), kNoCycle)
+        << to_string(kind);
+  }
+}
+
+TEST(MinReduce, TailLanesEveryLengthMatchesReference) {
+  // Lengths 0..33 cover every SSE2 (2-lane) and AVX2 (4-lane) tail shape.
+  // Values deliberately straddle 2^32 and the 2^63 sign-bias boundary.
+  std::vector<std::uint64_t> pool = {
+      5,           1,          kMax64,   kBias, kBias - 1,     kBias + 1,
+      0x100000000, 0xffffffff, kNoCycle, 3,     2,             7,
+      kBias + 99,  42,         11,       9,     0x10000000000, kMax64 - 1};
+  for (std::size_t n = 0; n <= 33; ++n) {
+    std::vector<std::uint64_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = pool[(i * 7 + n) % pool.size()];
+    const std::uint64_t expected = reference_min(v);
+    for (BackendKind kind : available_backends()) {
+      const BackendKernels& k = kernels_for(kind);
+      EXPECT_EQ(k.min_reduce(v.data(), n), expected)
+          << to_string(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(MinReduce, MinimumPositionIndependent) {
+  for (std::size_t pos = 0; pos < 9; ++pos) {
+    std::vector<std::uint64_t> v(9, kNoCycle);
+    v[pos] = 123456789;
+    for (BackendKind kind : available_backends()) {
+      const BackendKernels& k = kernels_for(kind);
+      EXPECT_EQ(k.min_reduce(v.data(), v.size()), 123456789u)
+          << to_string(kind) << " pos=" << pos;
+    }
+  }
+}
+
+std::vector<ChannelHot> make_lanes(std::size_t n) {
+  std::vector<ChannelHot> lanes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ChannelHot& h = lanes[i];
+    h.head = static_cast<std::uint32_t>(i * 3);
+    h.committed = static_cast<std::uint32_t>(i % 5);
+    if (i % 3 == 0) {
+      // Clean lane: staged == 0, snapshot == committed (the dense-sweep
+      // no-op invariant).
+      h.staged = 0;
+      h.snapshot = h.committed;
+    } else {
+      h.staged = static_cast<std::uint32_t>(1 + i % 4);
+      h.snapshot = h.committed + (i % 2);
+    }
+  }
+  return lanes;
+}
+
+void commit_reference(std::vector<ChannelHot>& lanes) {
+  for (ChannelHot& h : lanes) {
+    h.committed += h.staged;
+    h.staged = 0;
+    h.snapshot = h.committed;
+  }
+}
+
+bool equal_lanes(const std::vector<ChannelHot>& a,
+                 const std::vector<ChannelHot>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].head != b[i].head || a[i].committed != b[i].committed ||
+        a[i].staged != b[i].staged || a[i].snapshot != b[i].snapshot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CommitKernels, DenseMatchesReferenceEveryTailShape) {
+  for (std::size_t n = 0; n <= 19; ++n) {
+    std::vector<ChannelHot> expected = make_lanes(n);
+    commit_reference(expected);
+    for (BackendKind kind : available_backends()) {
+      std::vector<ChannelHot> lanes = make_lanes(n);
+      kernels_for(kind).commit_dense(lanes.data(), n);
+      EXPECT_TRUE(equal_lanes(lanes, expected))
+          << to_string(kind) << " n=" << n;
+    }
+  }
+}
+
+TEST(CommitKernels, DenseIsNoOpOnCleanLanes) {
+  // A committed pool is all-clean; a second dense sweep must change nothing
+  // (this is what makes cross-island early commits idempotent).
+  std::vector<ChannelHot> lanes = make_lanes(16);
+  commit_reference(lanes);
+  const std::vector<ChannelHot> snapshot = lanes;
+  for (BackendKind kind : available_backends()) {
+    kernels_for(kind).commit_dense(lanes.data(), lanes.size());
+    EXPECT_TRUE(equal_lanes(lanes, snapshot)) << to_string(kind);
+  }
+}
+
+TEST(CommitKernels, SparseMatchesReferenceAndSkipsOthers) {
+  const std::vector<std::uint32_t> dirty = {1, 4, 5, 11};
+  std::vector<ChannelHot> expected = make_lanes(12);
+  for (std::uint32_t lane : dirty) {
+    ChannelHot& h = expected[lane];
+    h.committed += h.staged;
+    h.staged = 0;
+    h.snapshot = h.committed;
+  }
+  for (BackendKind kind : available_backends()) {
+    std::vector<ChannelHot> lanes = make_lanes(12);
+    kernels_for(kind).commit_sparse(lanes.data(), dirty.data(), dirty.size());
+    EXPECT_TRUE(equal_lanes(lanes, expected)) << to_string(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: policy resolution and pool handles.
+
+TEST(BackendPolicy, ParseBackendRoundTrips) {
+  BackendKind kind = BackendKind::kScalar;
+  EXPECT_TRUE(parse_backend("scalar", kind));
+  EXPECT_EQ(kind, BackendKind::kScalar);
+  EXPECT_TRUE(parse_backend("sse2", kind));
+  EXPECT_EQ(kind, BackendKind::kSse2);
+  EXPECT_TRUE(parse_backend("avx2", kind));
+  EXPECT_EQ(kind, BackendKind::kAvx2);
+  EXPECT_TRUE(parse_backend("auto", kind));
+  EXPECT_EQ(kind, BackendKind::kAuto);
+  EXPECT_FALSE(parse_backend("neon", kind));
+  EXPECT_FALSE(parse_backend("", kind));
+}
+
+TEST(BackendPolicy, ExplicitScalarAlwaysHonoured) {
+  const BackendPolicy policy = resolve_backend(BackendKind::kScalar);
+  EXPECT_EQ(policy.chosen, BackendKind::kScalar);
+  EXPECT_FALSE(policy.report().empty());
+}
+
+TEST(BackendPolicy, AutoPicksSomethingSupported) {
+  const BackendPolicy policy = resolve_backend(BackendKind::kAuto);
+  const auto kinds = available_backends();
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), policy.chosen),
+            kinds.end());
+  // Auto never leaves SIMD on the table: the chosen backend is the widest.
+  EXPECT_EQ(policy.chosen, kinds.back());
+}
+
+TEST(BackendPolicy, EnvOverrideWinsAndUnparseableIsIgnored) {
+  ::setenv("AXIHC_FORCE_BACKEND", "scalar", 1);
+  BackendPolicy forced = resolve_backend(BackendKind::kAuto);
+  EXPECT_EQ(forced.chosen, BackendKind::kScalar);
+  EXPECT_TRUE(forced.forced_by_env);
+
+  ::setenv("AXIHC_FORCE_BACKEND", "m68k", 1);
+  BackendPolicy garbled = resolve_backend(BackendKind::kScalar);
+  EXPECT_EQ(garbled.chosen, BackendKind::kScalar);
+  EXPECT_FALSE(garbled.forced_by_env);
+  EXPECT_NE(garbled.reason.find("unparseable"), std::string::npos);
+  ::unsetenv("AXIHC_FORCE_BACKEND");
+}
+
+TEST(BackendPolicy, KernelTablesMatchTheirKind) {
+  for (BackendKind kind : available_backends()) {
+    EXPECT_EQ(kernels_for(kind).kind, kind);
+  }
+}
+
+TEST(BackendPolicy, AutoTuneReturnsAvailableBackend) {
+  std::string note;
+  const BackendKind kind = auto_tune_backend(&note);
+  const auto kinds = available_backends();
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), kind), kinds.end());
+  EXPECT_NE(note.find("auto-tune"), std::string::npos);
+}
+
+TEST(PooledWords, InlineThenAdoptedKeepsValuesAndWrites) {
+  HotStatePool pool;
+  PooledWords w(std::vector<std::uint32_t>{10, 20, 30});
+  EXPECT_EQ(w.size(), 3u);
+  w[1] = 21;  // pre-adoption write goes to inline storage
+  w.adopt(pool, nullptr, "test_words");
+  EXPECT_EQ(w.get(0), 10u);
+  EXPECT_EQ(w.get(1), 21u);
+  EXPECT_EQ(w.get(2), 30u);
+  w[2] = 31;  // post-adoption write goes to the pool slot
+  EXPECT_EQ(w.get(2), 31u);
+  w = std::vector<std::uint32_t>{1, 2, 3};  // same-size assign, post-adopt
+  EXPECT_EQ(w.get(0), 1u);
+  ASSERT_EQ(pool.slots().size(), 1u);
+  EXPECT_EQ(pool.slots()[0].what, "test_words");
+  EXPECT_EQ(pool.slots()[0].words, 3u);
+}
+
+TEST(PooledWords, HandlesSurviveLaterAllocations) {
+  HotStatePool pool;
+  PooledWords first(std::vector<std::uint32_t>{7});
+  first.adopt(pool, nullptr, "first");
+  const std::uint32_t* before = first.begin();
+  for (int i = 0; i < 64; ++i) {
+    PooledWords extra(std::vector<std::uint32_t>(17, 0));
+    extra.adopt(pool, nullptr, "extra");
+  }
+  EXPECT_EQ(first.begin(), before);  // per-slot blocks: no relocation
+  EXPECT_EQ(first.get(0), 7u);
+}
+
+TEST(PooledCycle, AdoptPreservesValue) {
+  HotStatePool pool;
+  PooledCycle c(42);
+  EXPECT_EQ(c.get(), 42u);
+  c.adopt(pool, nullptr, "deadline");
+  EXPECT_EQ(c.get(), 42u);
+  c.set(99);
+  EXPECT_EQ(c.get(), 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: backend-matrix bit-identity on whole systems.
+
+// Scaled-down versions of examples/configs: small enough for a matrix of
+// runs, large enough to exercise the reservation machinery, both HA models,
+// and (third scenario) the protection/recovery path.
+constexpr char kIsolationIni[] = R"(
+[system]
+interconnect = hyperconnect
+platform = zcu102
+ports = 2
+cycles = 120000
+
+[hyperconnect]
+nominal_burst = 16
+max_outstanding = 4
+
+[ha0]
+type = dnn
+network = googlenet
+scale = 256
+
+[ha1]
+type = traffic
+gap = 20000
+burst = 16
+direction = read
+outstanding = 1
+
+[observe]
+trace = true
+)";
+
+constexpr char kContentionIni[] = R"(
+[system]
+interconnect = hyperconnect
+platform = zcu102
+ports = 2
+cycles = 120000
+
+[hyperconnect]
+nominal_burst = 16
+max_outstanding = 4
+reservation_period = 2000
+budgets = 64 7
+
+[ha0]
+type = dnn
+network = googlenet
+scale = 256
+
+[ha1]
+type = dma
+mode = readwrite
+bytes_per_job = 16384
+burst = 16
+
+[observe]
+trace = true
+)";
+
+constexpr char kRecoveryIni[] = R"(
+[system]
+interconnect = hyperconnect
+platform = zcu102
+ports = 2
+cycles = 60000
+fault_seed = 7
+
+[hyperconnect]
+nominal_burst = 16
+max_outstanding = 4
+reservation_period = 2000
+budgets = 16 8
+prot_timeout = 2500
+
+[ha0]
+type = dma
+mode = readwrite
+bytes_per_job = 65536
+burst = 16
+
+[ha1]
+type = traffic
+direction = mixed
+burst = 16
+
+[recovery]
+poll_period = 500
+backoff_base = 500
+backoff_max = 4000
+probation_window = 1500
+max_attempts = 4
+drain_timeout = 2000
+
+[fault0]
+kind = stall_w
+port = 0
+start = 5000
+duration = 6000
+
+[observe]
+trace = true
+)";
+
+struct MatrixOutcome {
+  Cycle final_cycle = 0;
+  std::uint64_t digest = 0;
+  std::string trace;
+};
+
+MatrixOutcome run_matrix_point(const char* ini, BackendKind backend,
+                               unsigned threads, bool fast_forward) {
+  auto system = build_system(ini);
+  Simulator& sim = system->soc().sim();
+  sim.set_backend(backend);
+  sim.set_threads(threads);
+  sim.set_fast_forward(fast_forward);
+  MatrixOutcome out;
+  out.final_cycle = system->run(0);
+  out.digest = sim.state_digest();
+  std::ostringstream trace;
+  system->write_trace(trace);
+  out.trace = trace.str();
+  return out;
+}
+
+void run_matrix(const char* name, const char* ini) {
+  SCOPED_TRACE(name);
+  const MatrixOutcome ref =
+      run_matrix_point(ini, BackendKind::kScalar, 0, true);
+  EXPECT_NE(ref.digest, 0u);
+  EXPECT_GT(ref.trace.size(), 2u);  // non-degenerate stream
+  for (BackendKind backend : available_backends()) {
+    for (unsigned threads : {0u, 1u, 2u, 4u}) {
+      for (bool ff : {true, false}) {
+        if (backend == BackendKind::kScalar && threads == 0 && ff) {
+          continue;  // the reference point itself
+        }
+        const MatrixOutcome got = run_matrix_point(ini, backend, threads, ff);
+        EXPECT_EQ(got.final_cycle, ref.final_cycle)
+            << to_string(backend) << " threads=" << threads << " ff=" << ff;
+        EXPECT_EQ(got.digest, ref.digest)
+            << to_string(backend) << " threads=" << threads << " ff=" << ff;
+        EXPECT_EQ(got.trace, ref.trace)
+            << to_string(backend) << " threads=" << threads << " ff=" << ff;
+      }
+    }
+  }
+}
+
+TEST(BackendMatrix, IsolationScenarioBitIdentical) {
+  run_matrix("fig4-isolation", kIsolationIni);
+}
+
+TEST(BackendMatrix, ContentionScenarioBitIdentical) {
+  run_matrix("fig5-contention", kContentionIni);
+}
+
+TEST(BackendMatrix, FaultRecoveryScenarioBitIdentical) {
+  run_matrix("campaign-recovery", kRecoveryIni);
+}
+
+}  // namespace
+}  // namespace axihc

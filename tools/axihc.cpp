@@ -3,6 +3,7 @@
 //   axihc <config.ini> [--cycles N] [--trace-out f.json]
 //         [--metrics-out f.csv] [--sample-every N] [--no-fast-forward]
 //         [--threads N] [--no-parallel-tick] [--digest]
+//         [--backend scalar|sse2|avx2|auto] [--auto-tune]
 //         [--latency-audit] [--flight-out f.jsonl]
 //   axihc <config.ini> --lint [--lint-strict] [--lint-json f.json]
 //   axihc <spec.ini> --campaign [--campaign-out f.jsonl]
@@ -31,6 +32,7 @@
 // island-scope violations, two-phase races) have accesses to audit.
 //
 // See src/config/system_builder.hpp for the full config reference.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -40,6 +42,7 @@
 #include "campaign/campaign.hpp"
 #include "common/check.hpp"
 #include "config/system_builder.hpp"
+#include "sim/backend.hpp"
 #include "sim/phase_check.hpp"
 
 namespace {
@@ -82,6 +85,7 @@ void usage() {
                "             [--metrics-out f.csv] [--sample-every N]\n"
                "             [--no-fast-forward] [--threads N]\n"
                "             [--no-parallel-tick] [--digest]\n"
+               "             [--backend scalar|sse2|avx2|auto] [--auto-tune]\n"
                "             [--latency-audit] [--flight-out f.jsonl]\n"
                "       axihc <config.ini> --lint [--lint-strict]\n"
                "             [--lint-json f.json]\n"
@@ -118,6 +122,9 @@ int main(int argc, char** argv) {
   long long campaign_replay = -1;
   bool latency_audit = false;
   std::string flight_out;
+  axihc::BackendKind backend = axihc::BackendKind::kAuto;
+  bool backend_flag = false;
+  bool auto_tune = false;
   for (int i = 2; i < argc; ++i) {
     const bool has_value = i + 1 < argc;
     if (std::strcmp(argv[i], "--cycles") == 0 && has_value) {
@@ -157,6 +164,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--flight-out") == 0 && has_value) {
       latency_audit = true;
       flight_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && has_value) {
+      if (!axihc::parse_backend(argv[++i], backend)) {
+        std::cerr << "axihc: unknown backend '" << argv[i]
+                  << "' (scalar|sse2|avx2|auto)\n";
+        return 2;
+      }
+      backend_flag = true;
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      if (!axihc::parse_backend(argv[i] + 10, backend)) {
+        std::cerr << "axihc: unknown backend '" << (argv[i] + 10)
+                  << "' (scalar|sse2|avx2|auto)\n";
+        return 2;
+      }
+      backend_flag = true;
+    } else if (std::strcmp(argv[i], "--auto-tune") == 0) {
+      auto_tune = true;
     }
   }
 
@@ -202,6 +225,23 @@ int main(int argc, char** argv) {
     }
 
     auto system = axihc::build_system(text.str());
+
+    // Sweep-kernel backend: --auto-tune micro-probes the candidates on this
+    // host and picks the fastest; otherwise the request (default: auto =
+    // widest supported) goes through the resolve chain, which also honours
+    // the AXIHC_FORCE_BACKEND environment override. Results are
+    // bit-identical on every backend — only wall time changes.
+    if (auto_tune) {
+      std::string note;
+      backend = axihc::auto_tune_backend(&note);
+      std::cerr << "axihc: " << note << "\n";
+      backend_flag = true;
+    }
+    system->soc().sim().set_backend(backend);
+    if (backend_flag || std::getenv("AXIHC_FORCE_BACKEND") != nullptr) {
+      std::cerr << "axihc: "
+                << system->soc().sim().backend_policy().report() << "\n";
+    }
 
     if (lint_mode) {
       if (axihc::kPhaseCheckAvailable) {

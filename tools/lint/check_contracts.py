@@ -18,10 +18,22 @@ that actually executed) with whole-source coverage:
                         implementation file, so the island partitioner sees
                         the edges to its channels.
 
+  pool-adoption         every Component subclass that owns PooledWords /
+                        PooledCycle members (sim/soa_pool.hpp) must override
+                        adopt_hot_state() and call .adopt() somewhere in its
+                        header or implementation file — an unadopted handle
+                        silently falls back to inline storage, so the slot
+                        never gets the owner declaration axihc-lint's
+                        undeclared-pool-slot check and the AXIHC_PHASE_CHECK
+                        write ledger audit.
+
 Suppressions (put the comment inside the class body):
   // contracts: allow-default-scope   -- the implicit kSerial is intentional
   // contracts: allow-no-endpoint     -- channels are private plumbing that
                                          no island partition needs to see
+  // contracts: allow-inline-pool     -- the handle intentionally stays on
+                                         inline storage (never simulated
+                                         under a Simulator-owned pool)
 
 Exit code: number of violations (0 = clean). Run from anywhere:
   python3 tools/lint/check_contracts.py [--root <repo>]
@@ -50,6 +62,11 @@ OWNED_CHANNEL_RE = re.compile(
     r"(?:TimingChannel\s*<[^;]*?>|AxiLink)\s*>?\s*>\s*[A-Za-z_]\w*\s*[;{=]"
     r"|std::unique_ptr\s*<\s*(?:TimingChannel\s*<[^;]*?>|AxiLink)\s*>\s*"
     r"[A-Za-z_]\w*\s*[;{=])"
+)
+# An owned hot-state pool handle (sim/soa_pool.hpp): by value only — a
+# pointer/reference is a view of someone else's slot.
+OWNED_POOLED_RE = re.compile(
+    r"^\s*(?:mutable\s+)?Pooled(?:Words|Cycle)\s+[A-Za-z_]\w*\s*[;{=]"
 )
 
 
@@ -172,6 +189,18 @@ def main() -> int:
                       f"members but never calls add_endpoint()/"
                       f"attach_endpoint() — the island partitioner cannot "
                       f"see its channel edges")
+
+        owns_pooled = any(OWNED_POOLED_RE.match(line)
+                          for line in body_of[name].splitlines())
+        if owns_pooled:
+            text = impl_text(name)
+            if (("adopt_hot_state" not in text or ".adopt(" not in text)
+                    and "contracts: allow-inline-pool" not in marker_body):
+                violations += 1
+                print(f"{rel}: class {name}: owns PooledWords/PooledCycle "
+                      f"members but never adopts them into the hot-state "
+                      f"pool (override adopt_hot_state() and call .adopt()) "
+                      f"— the slots stay inline and unauditable")
 
     print(f"check_contracts: {len(components)} Component subclass(es), "
           f"{violations} violation(s)")
