@@ -108,22 +108,10 @@ inline unsigned bench_threads() { return parallel_job_threads(); }
 /// Runs independent scenario jobs across the shared worker pool and returns
 /// their results in job order (the printed sweep is identical to a serial
 /// run). Thin alias of run_parallel_jobs (sim/parallel_jobs.hpp), kept so
-/// benches read as before. Warns (once) when AXIHC_BENCH_THREADS asks for
-/// more workers than the host has hardware threads: the jobs still run, but
-/// oversubscribed timings are not scaling measurements.
+/// benches read as before; the oversubscription warning lives in the shared
+/// scheduler now, so every fan-out client gets it.
 template <typename Result>
 std::vector<Result> run_parallel(std::vector<std::function<Result()>> jobs) {
-  static const bool warned = [] {
-    const unsigned requested = bench_threads();
-    const unsigned hw = std::thread::hardware_concurrency();
-    if (hw != 0 && requested > hw) {
-      std::cerr << "bench: AXIHC_BENCH_THREADS=" << requested
-                << " exceeds this host's " << hw
-                << " hardware thread(s); timings will be oversubscribed\n";
-    }
-    return true;
-  }();
-  (void)warned;
   return run_parallel_jobs<Result>(std::move(jobs));
 }
 

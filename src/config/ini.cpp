@@ -21,6 +21,16 @@ void IniSection::set(const std::string& key, const std::string& value) {
   entries_.emplace_back(key, value);
 }
 
+void IniSection::replace(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(key, value);
+}
+
 bool IniSection::has(const std::string& key) const {
   for (const auto& [k, v] : entries_) {
     if (k == key) return true;
@@ -146,6 +156,23 @@ const IniSection* IniFile::section(const std::string& name) const {
     if (s.name() == name) return &s;
   }
   return nullptr;
+}
+
+IniSection* IniFile::mutable_section(const std::string& name) {
+  for (auto& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+IniSection& IniFile::add_section(const std::string& name) {
+  sections_.emplace_back(name);
+  return sections_.back();
+}
+
+IniSection& IniFile::get_or_add_section(const std::string& name) {
+  if (IniSection* s = mutable_section(name)) return *s;
+  return add_section(name);
 }
 
 std::vector<const IniSection*> IniFile::sections_with_prefix(

@@ -22,6 +22,9 @@ class IniSection {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   void set(const std::string& key, const std::string& value);
+  /// Replaces the first occurrence of `key` (the one every get_* reads), or
+  /// appends when absent — the sweep engine's axis-override primitive.
+  void replace(const std::string& key, const std::string& value);
   [[nodiscard]] bool has(const std::string& key) const;
 
   [[nodiscard]] std::string get_string(const std::string& key,
@@ -60,6 +63,13 @@ class IniFile {
   [[nodiscard]] const std::vector<IniSection>& sections() const {
     return sections_;
   }
+
+  /// First section with this name (mutable), or nullptr.
+  [[nodiscard]] IniSection* mutable_section(const std::string& name);
+  /// Appends a new (possibly duplicate-named) section and returns it.
+  IniSection& add_section(const std::string& name);
+  /// mutable_section() or add_section() — the sweep engine's override hook.
+  IniSection& get_or_add_section(const std::string& name);
 
  private:
   std::vector<IniSection> sections_;

@@ -104,6 +104,24 @@ void ConfiguredSystem::build(const IniFile& ini,
     cfg.hc.initial_budgets = hc->get_u32_list("budgets");
     cfg.hc.prot_timeout = hc->get_u64("prot_timeout", 0);
     cfg.hc.out_of_order = hc->get_bool("out_of_order", false);
+    // eFIFO structural knobs (the fifo-depth ablation sweep): data_depth
+    // sets the R/W queue depths, addr_depth the AR/AW queue depths, on the
+    // port AND master eFIFOs. 0 keeps the AxiLinkConfig defaults (32 / 4).
+    const std::uint64_t data_depth = hc->get_u64("data_depth", 0);
+    if (data_depth != 0) {
+      AXIHC_CHECK_MSG(data_depth >= 1, "[hyperconnect] data_depth >= 1");
+      cfg.hc.port_link_cfg.r_depth = data_depth;
+      cfg.hc.port_link_cfg.w_depth = data_depth;
+      cfg.hc.master_link_cfg.r_depth = data_depth;
+      cfg.hc.master_link_cfg.w_depth = data_depth;
+    }
+    const std::uint64_t addr_depth = hc->get_u64("addr_depth", 0);
+    if (addr_depth != 0) {
+      cfg.hc.port_link_cfg.ar_depth = addr_depth;
+      cfg.hc.port_link_cfg.aw_depth = addr_depth;
+      cfg.hc.master_link_cfg.ar_depth = addr_depth;
+      cfg.hc.master_link_cfg.aw_depth = addr_depth;
+    }
     if (hc->get_string("arbitration", "round_robin") == "qos_priority") {
       cfg.hc.arbitration = ArbitrationPolicy::kQosPriority;
     }

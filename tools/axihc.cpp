@@ -8,7 +8,32 @@
 //   axihc <config.ini> --lint [--lint-strict] [--lint-json f.json]
 //   axihc <spec.ini> --campaign [--campaign-out f.jsonl]
 //   axihc <spec.ini> --campaign --campaign-replay N
+//   axihc <spec.ini> --sweep [--sweep-out f.jsonl] [--sweep-cache DIR]
+//         [--sweep-no-cache] [--sweep-shard i/N] [--sweep-deterministic]
+//         [--sweep-check pins.jsonl] [--sweep-report f.md]
+//         [--sweep-report-json f.json]
+//   axihc <results.jsonl> --sweep-report f.md      # report from saved rows
+//   axihc <config.ini> --config-digest | --config-canonical
 //   axihc --example            # print a ready-to-edit sample config
+//
+// --sweep expands the file's [sweep] section (axes over any config key;
+// see src/sweep/sweep.hpp) into its cartesian grid and runs every cell as a
+// shared-nothing parallel job, streaming one JSON-lines row per cell.
+// Results are cached under (config digest, code version) — the default
+// directory is .axihc-sweep-cache next to the spec — so re-running a sweep
+// only simulates cells whose config or code actually changed.
+// --sweep-shard i/N runs the cells with index % N == i (fan out across
+// machines; the sorted union of shard outputs equals the unsharded run).
+// --sweep-check compares each produced cell's config + state digest against
+// a pinned row file and exits nonzero on any mismatch. --sweep-report /
+// --sweep-report-json render Pareto fronts and per-axis sensitivity tables
+// from this run's rows — or, without --sweep, from a saved row file ("-"
+// writes to stdout).
+//
+// --config-digest prints the 64-bit digest of the config's canonical form
+// (stable across key order, whitespace, comments, numeric base, and
+// explicitly-spelled defaults — see src/config/canonical.hpp);
+// --config-canonical prints the canonical text itself.
 //
 // --campaign runs the Monte Carlo fault campaign described by the file's
 // [campaign] section (src/campaign): seeded randomized fault mixes against
@@ -32,18 +57,23 @@
 // island-scope violations, two-phase races) have accesses to audit.
 //
 // See src/config/system_builder.hpp for the full config reference.
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.hpp"
 #include "common/check.hpp"
+#include "config/canonical.hpp"
 #include "config/system_builder.hpp"
 #include "sim/backend.hpp"
 #include "sim/phase_check.hpp"
+#include "sweep/report.hpp"
+#include "sweep/runner.hpp"
 
 namespace {
 
@@ -91,7 +121,32 @@ void usage() {
                "             [--lint-json f.json]\n"
                "       axihc <spec.ini> --campaign [--campaign-out f.jsonl]\n"
                "       axihc <spec.ini> --campaign --campaign-replay N\n"
+               "       axihc <spec.ini> --sweep [--sweep-out f.jsonl]\n"
+               "             [--sweep-cache DIR] [--sweep-no-cache]\n"
+               "             [--sweep-shard i/N] [--sweep-deterministic]\n"
+               "             [--sweep-check pins.jsonl] [--sweep-report f.md]\n"
+               "             [--sweep-report-json f.json]\n"
+               "       axihc <results.jsonl> --sweep-report f.md\n"
+               "       axihc <config.ini> --config-digest\n"
+               "       axihc <config.ini> --config-canonical\n"
                "       axihc --example > experiment.ini\n";
+}
+
+/// Writes `content` to `path`, with "-" meaning stdout. Returns false (and
+/// complains) when the file cannot be opened.
+bool write_output(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content;
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "axihc: cannot write '" << path << "'\n";
+    return false;
+  }
+  out << content;
+  std::cerr << "axihc: wrote " << path << "\n";
+  return true;
 }
 
 }  // namespace
@@ -122,6 +177,18 @@ int main(int argc, char** argv) {
   long long campaign_replay = -1;
   bool latency_audit = false;
   std::string flight_out;
+  bool sweep_mode = false;
+  std::string sweep_out;
+  std::string sweep_cache;
+  bool sweep_no_cache = false;
+  std::size_t sweep_shard_index = 0;
+  std::size_t sweep_shard_count = 1;
+  bool sweep_deterministic = false;
+  std::string sweep_check;
+  std::string sweep_report;
+  std::string sweep_report_json;
+  bool config_digest_mode = false;
+  bool config_canonical_mode = false;
   axihc::BackendKind backend = axihc::BackendKind::kAuto;
   bool backend_flag = false;
   bool auto_tune = false;
@@ -159,6 +226,44 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--campaign-replay") == 0 && has_value) {
       campaign_mode = true;
       campaign_replay = std::strtoll(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep_mode = true;
+    } else if (std::strcmp(argv[i], "--sweep-out") == 0 && has_value) {
+      sweep_mode = true;
+      sweep_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-cache") == 0 && has_value) {
+      sweep_mode = true;
+      sweep_cache = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-no-cache") == 0) {
+      sweep_mode = true;
+      sweep_no_cache = true;
+    } else if (std::strcmp(argv[i], "--sweep-shard") == 0 && has_value) {
+      sweep_mode = true;
+      unsigned long long idx = 0;
+      unsigned long long count = 0;
+      if (std::sscanf(argv[++i], "%llu/%llu", &idx, &count) != 2 ||
+          count == 0 || idx >= count) {
+        std::cerr << "axihc: --sweep-shard wants i/N with i < N, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
+      sweep_shard_index = static_cast<std::size_t>(idx);
+      sweep_shard_count = static_cast<std::size_t>(count);
+    } else if (std::strcmp(argv[i], "--sweep-deterministic") == 0) {
+      sweep_mode = true;
+      sweep_deterministic = true;
+    } else if (std::strcmp(argv[i], "--sweep-check") == 0 && has_value) {
+      sweep_mode = true;
+      sweep_check = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-report") == 0 && has_value) {
+      sweep_report = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-report-json") == 0 &&
+               has_value) {
+      sweep_report_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--config-digest") == 0) {
+      config_digest_mode = true;
+    } else if (std::strcmp(argv[i], "--config-canonical") == 0) {
+      config_canonical_mode = true;
     } else if (std::strcmp(argv[i], "--latency-audit") == 0) {
       latency_audit = true;
     } else if (std::strcmp(argv[i], "--flight-out") == 0 && has_value) {
@@ -192,6 +297,109 @@ int main(int argc, char** argv) {
   text << file.rdbuf();
 
   try {
+    if (config_digest_mode || config_canonical_mode) {
+      const axihc::IniFile ini = axihc::IniFile::parse(text.str());
+      if (config_canonical_mode) std::cout << axihc::canonical_ini(ini);
+      if (config_digest_mode) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "0x%016llx",
+                      static_cast<unsigned long long>(
+                          axihc::config_digest(ini)));
+        std::cout << buf << "\n";
+      }
+      return 0;
+    }
+
+    if ((!sweep_report.empty() || !sweep_report_json.empty()) &&
+        !sweep_mode) {
+      // Standalone report mode: argv[1] is a saved row file, not a config.
+      std::vector<std::string> lines;
+      std::istringstream rows(text.str());
+      for (std::string line; std::getline(rows, line);) {
+        if (!line.empty()) lines.push_back(line);
+      }
+      if (!sweep_report.empty() &&
+          !write_output(sweep_report, axihc::sweep_report_markdown(lines))) {
+        return 1;
+      }
+      if (!sweep_report_json.empty() &&
+          !write_output(sweep_report_json,
+                        axihc::sweep_report_json(lines))) {
+        return 1;
+      }
+      return 0;
+    }
+
+    if (sweep_mode) {
+      const axihc::IniFile ini = axihc::IniFile::parse(text.str());
+      axihc::SweepOptions opts;
+      if (!sweep_no_cache) {
+        // Default cache next to the spec file, so re-running the same
+        // command line hits it without any extra flags.
+        opts.cache_dir = sweep_cache.empty()
+                             ? std::string(argv[1]) + ".cache"
+                             : sweep_cache;
+      }
+      opts.shard_index = sweep_shard_index;
+      opts.shard_count = sweep_shard_count;
+      opts.deterministic = sweep_deterministic;
+
+      std::ofstream out_file;
+      if (!sweep_out.empty()) {
+        out_file.open(sweep_out);
+        if (!out_file) {
+          std::cerr << "axihc: cannot write '" << sweep_out << "'\n";
+          return 1;
+        }
+        opts.out = &out_file;
+      } else {
+        opts.out = &std::cout;
+      }
+
+      const axihc::SweepSummary summary = axihc::run_sweep(ini, opts);
+      std::cerr << "axihc: sweep '" << summary.name << "': "
+                << summary.cells << " cells";
+      if (sweep_shard_count > 1) {
+        std::cerr << " (" << summary.shard_cells << " in shard "
+                  << sweep_shard_index << "/" << sweep_shard_count << ")";
+      }
+      std::cerr << ", " << summary.executed << " executed, "
+                << summary.cache_hits << " cache hits\n";
+      if (!sweep_out.empty()) {
+        std::cerr << "axihc: wrote sweep rows to " << sweep_out << "\n";
+      }
+
+      if (!sweep_report.empty() &&
+          !write_output(sweep_report,
+                        axihc::sweep_report_markdown(summary.lines))) {
+        return 1;
+      }
+      if (!sweep_report_json.empty() &&
+          !write_output(sweep_report_json,
+                        axihc::sweep_report_json(summary.lines))) {
+        return 1;
+      }
+
+      if (!sweep_check.empty()) {
+        std::ifstream pins(sweep_check);
+        if (!pins) {
+          std::cerr << "axihc: cannot open '" << sweep_check << "'\n";
+          return 1;
+        }
+        std::ostringstream pins_text;
+        pins_text << pins.rdbuf();
+        const std::size_t mismatches =
+            axihc::check_pins(summary.lines, pins_text.str(), std::cerr);
+        if (mismatches != 0) {
+          std::cerr << "axihc: " << mismatches
+                    << " cell(s) diverged from " << sweep_check << "\n";
+          return 1;
+        }
+        std::cerr << "axihc: all pinned cells match " << sweep_check << "\n";
+      }
+      return 0;
+    }
+
     if (campaign_mode) {
       const axihc::IniFile ini = axihc::IniFile::parse(text.str());
       if (campaign_replay >= 0) {
