@@ -80,16 +80,21 @@ Cycle reservation_supply_bound(const HcAnalysisConfig& cfg,
 
 }  // namespace
 
-bool reservation_feasible(const HcAnalysisConfig& cfg,
-                          const AnalysisPlatform& p) {
-  if (cfg.reservation_period == 0) return false;
-  AXIHC_CHECK(cfg.budgets.size() == cfg.num_ports);
+std::uint64_t reservation_demand(const HcAnalysisConfig& cfg,
+                                 const AnalysisPlatform& p) {
   const Cycle s_nominal = service_bound(p, competitor_unit_beats(cfg));
   std::uint64_t demand = 0;
   for (const std::uint32_t b : cfg.budgets) {
     demand += static_cast<std::uint64_t>(b) * s_nominal;
   }
-  return demand <= cfg.reservation_period;
+  return demand;
+}
+
+bool reservation_feasible(const HcAnalysisConfig& cfg,
+                          const AnalysisPlatform& p) {
+  if (cfg.reservation_period == 0) return false;
+  AXIHC_CHECK(cfg.budgets.size() == cfg.num_ports);
+  return reservation_demand(cfg, p) <= cfg.reservation_period;
 }
 
 namespace {

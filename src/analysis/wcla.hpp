@@ -119,9 +119,16 @@ struct HcAnalysisConfig {
                                            BeatCount max_competitor_beats,
                                            BeatCount beats);
 
+/// Worst-case cycles needed to serve every port's full budget once:
+/// sum_i B_i * S(nominal). The demand side of the feasibility check; also
+/// quoted by the `reservation-overcommit` lint rule and embedded in prove
+/// certificates.
+[[nodiscard]] std::uint64_t reservation_demand(const HcAnalysisConfig& cfg,
+                                               const AnalysisPlatform& p);
+
 /// Schedulability-style check for a reservation plan: the budgets of all
 /// ports must be servable within one period at worst-case service times
-/// (sum_i B_i * S(nominal) <= T). Returns true if the plan is feasible.
+/// (reservation_demand(cfg, p) <= T). Returns true if the plan is feasible.
 [[nodiscard]] bool reservation_feasible(const HcAnalysisConfig& cfg,
                                         const AnalysisPlatform& p);
 

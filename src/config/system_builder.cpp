@@ -306,6 +306,10 @@ void ConfiguredSystem::wire_observability() {
     audit_->set_mem_source(soc_->memory_controller().name());
     if (HyperConnect* hc = soc_->hyperconnect()) {
       hc->set_latency_audit(audit_.get());
+      // Watermark for the prover soundness cross-check: every audited run
+      // also records the observed per-port eFIFO peak, so a simulated cell
+      // can be compared against the static backlog bound.
+      hc->set_track_efifo_peaks(true);
       for (PortIndex p = 0; p < cfg.num_ports; ++p) {
         audit_->set_port_source(p, hc->name() + ".port" + std::to_string(p));
       }
@@ -403,6 +407,14 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.write_base = section.get_u64("write_base", 0x2000'0000 +
                                                        (Addr{port} << 26));
     cfg.tolerate_out_of_order = ooo;
+    ProveHaModel model;
+    model.name = name;
+    model.type = type;
+    model.burst_beats = cfg.burst_beats;
+    model.max_outstanding = cfg.max_outstanding;
+    model.reads = cfg.mode != DmaMode::kWrite;
+    model.writes = cfg.mode != DmaMode::kRead;
+    prove_has_.push_back(model);
     if (cfg.mode != DmaMode::kWrite) {
       lint_windows_.push_back(
           {name + " read buffer", {cfg.read_base, cfg.bytes_per_job}});
@@ -423,6 +435,15 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.qos = static_cast<std::uint8_t>(section.get_u64("qos", 0));
     cfg.base = section.get_u64("base", 0x4000'0000 + (Addr{port} << 26));
     cfg.tolerate_out_of_order = ooo;
+    ProveHaModel model;
+    model.name = name;
+    model.type = type;
+    model.burst_beats = cfg.burst_beats;
+    model.max_outstanding = cfg.max_outstanding;
+    model.gap_cycles = cfg.gap_cycles;
+    model.reads = cfg.direction != TrafficDirection::kWrite;
+    model.writes = cfg.direction != TrafficDirection::kRead;
+    prove_has_.push_back(model);
     lint_windows_.push_back({name + " region", {cfg.base, cfg.region_bytes}});
     masters_.push_back(
         std::make_unique<TrafficGenerator>(name, link, cfg));
@@ -440,6 +461,14 @@ void ConfiguredSystem::add_ha(const IniSection& section, PortIndex port) {
     cfg.macs_per_cycle = section.get_u64("macs_per_cycle", 256);
     cfg.max_frames = section.get_u64("max_frames", 0);
     cfg.tolerate_out_of_order = ooo;
+    ProveHaModel model;
+    model.name = name;
+    model.type = type;
+    model.burst_beats = cfg.burst_beats;
+    model.max_outstanding = cfg.max_outstanding;
+    model.reads = true;   // weight/ifmap loads
+    model.writes = true;  // ofmap stores
+    prove_has_.push_back(model);
     std::uint64_t load_max = 0;
     std::uint64_t store_max = 0;
     for (const DnnLayer& l : cfg.layers) {
@@ -490,6 +519,98 @@ const FaultInjector& ConfiguredSystem::injector(std::size_t i) const {
 const std::string& ConfiguredSystem::ha_type(std::size_t i) const {
   AXIHC_CHECK(i < ha_types_.size());
   return ha_types_[i];
+}
+
+ProveInput ConfiguredSystem::prove_input() const {
+  const SocConfig& cfg = soc_->config();
+  ProveInput in;
+  in.hyperconnect = cfg.kind == InterconnectKind::kHyperConnect;
+  in.num_ports = cfg.num_ports;
+
+  in.analysis.num_ports = cfg.num_ports;
+  in.analysis.nominal_burst = cfg.hc.nominal_burst;
+  in.analysis.reservation_period = cfg.hc.reservation_period;
+  in.analysis.budgets = cfg.hc.initial_budgets;
+  in.analysis.budgets.resize(cfg.num_ports, 0);
+  in.analysis.competitor_backlog = cfg.hc.max_outstanding;
+  in.platform.mem_latency = cfg.mem.row_miss_latency;
+  in.platform.turnaround = cfg.mem.turnaround;
+  in.platform.refresh_period = cfg.mem.refresh_period;
+  in.platform.refresh_duration = cfg.mem.refresh_duration;
+
+  const AxiLinkConfig& plc = cfg.hc.port_link_cfg;
+  in.ar_depth = plc.ar_depth;
+  in.aw_depth = plc.aw_depth;
+  in.w_depth = plc.w_depth;
+  in.r_depth = plc.r_depth;
+  in.b_depth = plc.b_depth;
+  in.out_of_order = in.hyperconnect && cfg.hc.out_of_order;
+  in.id_bits = plc.id_bits;
+  in.in_order_memory = cfg.mem.scheduling == MemScheduling::kInOrder;
+  in.ps_stall = cfg.mem.ps_stall_period != 0;
+  in.has = prove_has_;
+
+  // Waits-for graph over the elaborated pipeline. Forward edges follow the
+  // request path (a full queue drains into the next stage), response edges
+  // follow R/B back out to the HA, which always consumes beats (a sink
+  // node, NOT the HA's issue side — consuming responses never requires
+  // issuing new requests). The owed-completion back-edges model the TS's
+  // outstanding limit: accepting new work can require a completion slot,
+  // i.e. the port's R/B queues draining.
+  const auto edge = [&in](std::string from, std::string to) {
+    in.edges.push_back({std::move(from), std::move(to)});
+  };
+  if (in.hyperconnect) {
+    in.nodes = {"exbar",    "master.ar", "master.aw", "master.w",
+                "master.r", "master.b",  "mem"};
+    edge("exbar", "master.ar");
+    edge("exbar", "master.aw");
+    edge("exbar", "master.w");
+    edge("master.ar", "mem");
+    edge("master.aw", "mem");
+    edge("master.w", "mem");
+    edge("mem", "master.r");
+    edge("mem", "master.b");
+    for (std::size_t p = 0; p < prove_has_.size(); ++p) {
+      const std::string ha = prove_has_[p].name;
+      const std::string port = "port" + std::to_string(p);
+      const std::string ts = "ts" + std::to_string(p);
+      for (const char* ch : {".ar", ".aw", ".w", ".r", ".b"}) {
+        in.nodes.push_back(port + ch);
+      }
+      in.nodes.push_back(ha);
+      in.nodes.push_back(ha + ".sink");
+      in.nodes.push_back(ts);
+      edge(ha, port + ".ar");
+      edge(ha, port + ".aw");
+      edge(ha, port + ".w");
+      edge(port + ".ar", ts);
+      edge(port + ".aw", ts);
+      edge(port + ".w", ts);
+      edge(ts, "exbar");
+      edge(ts, port + ".r");  // owed completion (outstanding limit)
+      edge(ts, port + ".b");
+      edge("master.r", port + ".r");
+      edge("master.b", port + ".b");
+      edge(port + ".r", ha + ".sink");
+      edge(port + ".b", ha + ".sink");
+    }
+  } else {
+    in.nodes = {"smartconnect.req", "smartconnect.resp", "mem"};
+    edge("smartconnect.req", "mem");
+    edge("mem", "smartconnect.resp");
+    for (const ProveHaModel& ha : prove_has_) {
+      in.nodes.push_back(ha.name);
+      in.nodes.push_back(ha.name + ".sink");
+      edge(ha.name, "smartconnect.req");
+      edge("smartconnect.resp", ha.name + ".sink");
+    }
+  }
+  return in;
+}
+
+ProveReport ConfiguredSystem::prove() const {
+  return axihc::prove(prove_input());
 }
 
 LintReport ConfiguredSystem::lint() const {
@@ -544,6 +665,34 @@ LintReport ConfiguredSystem::lint() const {
                 "raise probation_window to at least one poll_period "
                 "(several, to observe real traffic before trusting the "
                 "port)"});
+  }
+
+  // Layer-2 static certification (src/prove) folded into lint: a disproved
+  // check is a configuration bug. Warning severity makes `--lint-strict`
+  // (the CI gate) fail on a disproved system while plain --lint keeps
+  // reporting everything else.
+  const ProveReport proof = axihc::prove(prove_input());
+  for (const ProveCheck& c : proof.checks) {
+    if (c.verdict != ProveVerdict::kDisproved) continue;
+    report.add({LintSeverity::kWarning, "prove-" + c.id, "[static prover]",
+                c.detail,
+                "run `axihc --prove` for the full certificate, then fix "
+                "the configuration it refutes"});
+  }
+  if (proof.reservation_on && !proof.reservation_feasible) {
+    std::ostringstream msg;
+    msg << "reservation plan is overcommitted: serving every budget at "
+           "worst-case memory timing needs "
+        << proof.reservation_demand << " cycles per "
+        << cfg.hc.reservation_period
+        << "-cycle period; the supply-bound WCLA form does not apply "
+           "(bounds stay sound via the composite supply+arbitration form, "
+           "but guarantees are weaker than the budget split suggests)";
+    report.add({LintSeverity::kWarning, "reservation-overcommit",
+                "[hyperconnect]", msg.str(),
+                "shrink the budgets, lengthen reservation_period, or "
+                "reduce nominal_burst so sum(budget x worst-case service) "
+                "fits the period"});
   }
 
   return report;

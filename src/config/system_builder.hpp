@@ -74,6 +74,7 @@
 #include "obs/latency_audit.hpp"
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
+#include "prove/prove.hpp"
 #include "recovery/recovery_manager.hpp"
 #include "sim/trace.hpp"
 #include "soc/soc.hpp"
@@ -128,6 +129,15 @@ class ConfiguredSystem {
   /// headroom under the out-of-order ID-extension, and — in instrumented
   /// builds after a run — the access-ledger contract checks.
   [[nodiscard]] LintReport lint() const;
+
+  /// Assembles the static-prover input (src/prove) from the elaborated
+  /// system: the WCLA-side analysis config, platform timing, eFIFO depths,
+  /// the per-HA arrival models recorded by add_ha, and the
+  /// channel/endpoint waits-for graph with owed-completion back-edges.
+  [[nodiscard]] ProveInput prove_input() const;
+  /// Runs the static predictability certifier (src/prove) — zero simulated
+  /// cycles; see ProveReport for verdicts and the certificate.
+  [[nodiscard]] ProveReport prove() const;
 
   /// The parsed fault scenario ([faultN] sections; empty when none).
   [[nodiscard]] const FaultScenario& fault_scenario() const {
@@ -198,6 +208,8 @@ class ConfiguredSystem {
   Platform platform_;
   Cycle configured_cycles_ = 1'000'000;
   std::vector<LintWindow> lint_windows_;
+  /// Arrival model per attached HA (recorded by add_ha for the prover).
+  std::vector<ProveHaModel> prove_has_;
   std::unique_ptr<SocSystem> soc_;
   std::vector<std::unique_ptr<AxiMasterBase>> masters_;
   std::vector<std::string> ha_types_;

@@ -1,5 +1,6 @@
 #include "hyperconnect/hyperconnect.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -50,6 +51,7 @@ HyperConnect::HyperConnect(std::string name, HyperConnectConfig cfg)
   AXIHC_CHECK(cfg_.max_outstanding >= 1);
   owed_r_.resize(cfg_.num_ports);
   owed_b_.resize(cfg_.num_ports);
+  efifo_peak_.assign(cfg_.num_ports, 0);
   efifos_.reserve(cfg_.num_ports);
   for (PortIndex i = 0; i < cfg_.num_ports; ++i) {
     efifos_.emplace_back(port_link(i));
@@ -101,6 +103,7 @@ void HyperConnect::reset() {
     owed_r_[i].clear();
     owed_b_[i].clear();
     mutable_counters(i) = PortCounters{};
+    efifo_peak_[i] = 0;
   }
   owed_pending_ = 0;
 }
@@ -139,6 +142,9 @@ void HyperConnect::register_metrics(MetricsRegistry& reg) {
     reg.add_gauge(p + ".efifo_level", [this, i] {
       return static_cast<double>(efifos_[i].level());
     });
+    reg.add_gauge(p + ".efifo_peak", [this, i] {
+      return static_cast<double>(efifo_peak_[i]);
+    });
     reg.add_gauge(p + ".reads_outstanding", [this, i] {
       return static_cast<double>(ts_[i]->reads_outstanding());
     });
@@ -161,6 +167,11 @@ void HyperConnect::register_metrics(MetricsRegistry& reg) {
     reg.add_counter(p + ".w_beats", &c.w_beats);
     reg.add_counter(p + ".b_resps", &c.b_resps);
   }
+}
+
+std::size_t HyperConnect::efifo_peak(PortIndex i) const {
+  AXIHC_CHECK(i < efifo_peak_.size());
+  return efifo_peak_[i];
 }
 
 std::uint32_t HyperConnect::budget_left(PortIndex i) const {
@@ -553,6 +564,11 @@ Cycle HyperConnect::next_activity(Cycle now) const {
 }
 
 void HyperConnect::tick(Cycle now) {
+  if (track_efifo_peaks_) {
+    for (PortIndex i = 0; i < num_ports(); ++i) {
+      efifo_peak_[i] = std::max(efifo_peak_[i], efifos_[i].level());
+    }
+  }
   tick_control_interface();
   tick_central_unit(now);
 

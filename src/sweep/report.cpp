@@ -27,6 +27,8 @@ struct Row {
 struct Parsed {
   std::string name = "sweep";
   bool all_bounded = true;  // every row carries a WCLA bound
+  std::size_t skipped_disproved = 0;  // statically refuted, never simulated
+  std::size_t skipped_errors = 0;     // builder rejected the config
   std::vector<Row> rows;
 
   /// The predictability objective of one row under the chosen metric.
@@ -51,6 +53,17 @@ Parsed parse_rows(const std::vector<std::string>& lines) {
     const JsonValue v = parse_json(line);
     const JsonValue* cell = v.find("cell");
     if (cell == nullptr) continue;  // header or foreign line
+    // Annotation rows carry no measurements: a statically disproved cell
+    // (prove_verdict without cycles) or a build failure must not pollute
+    // the Pareto front / sensitivity averages. Counted, then skipped.
+    if (v.find("error") != nullptr) {
+      ++out.skipped_errors;
+      continue;
+    }
+    if (v.find("cycles") == nullptr) {
+      ++out.skipped_disproved;
+      continue;
+    }
     Row r;
     r.cell = static_cast<std::uint64_t>(cell->number);
     if (const JsonValue* name = v.find("sweep")) {
@@ -193,7 +206,16 @@ std::string sweep_report_markdown(
     os << " (some cells have no analytic WCLA bound, so the read p99 tail "
           "stands in)";
   }
-  os << ".\n\n";
+  os << ".";
+  if (p.skipped_disproved != 0) {
+    os << " Excluded " << p.skipped_disproved
+       << " statically disproved cell(s) (see their prove_detail rows).";
+  }
+  if (p.skipped_errors != 0) {
+    os << " Excluded " << p.skipped_errors
+       << " cell(s) whose config failed to build (see their error rows).";
+  }
+  os << "\n\n";
 
   os << "## Pareto front (throughput vs predictability vs LUT)\n\n";
   os << "| cell |";
@@ -230,8 +252,9 @@ std::string sweep_report_json(const std::vector<std::string>& jsonl_lines) {
 
   std::ostringstream os;
   os << "{\"sweep\":\"" << p.name << "\",\"rows\":" << p.rows.size()
-     << ",\"cached\":" << cached_count(p) << ",\"metric\":\""
-     << p.metric_name() << "\",\"pareto\":[";
+     << ",\"cached\":" << cached_count(p) << ",\"disproved\":"
+     << p.skipped_disproved << ",\"errors\":" << p.skipped_errors
+     << ",\"metric\":\"" << p.metric_name() << "\",\"pareto\":[";
   for (std::size_t i = 0; i < front.size(); ++i) {
     const Row* r = front[i];
     if (i != 0) os << ",";

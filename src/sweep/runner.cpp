@@ -18,7 +18,9 @@
 #include "common/check.hpp"
 #include "config/canonical.hpp"
 #include "config/system_builder.hpp"
+#include "hyperconnect/hyperconnect.hpp"
 #include "obs/latency_audit.hpp"
+#include "prove/prove.hpp"
 #include "resources/resources.hpp"
 #include "sim/parallel_jobs.hpp"
 #include "sweep/code_version.hpp"
@@ -56,27 +58,71 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// The prover columns shared by annotated and simulated rows. The
+/// certificate digest rides in the fragment, so cached certificates live
+/// under the same (config digest, code version) key as every other cached
+/// measurement and invalidate with the code-version digest.
+std::string prove_fields(const ProveReport& proof) {
+  std::ostringstream os;
+  os << "\"prove_verdict\":\"" << to_string(proof.verdict())
+     << "\",\"static_backlog_bound\":" << proof.static_backlog_bound()
+     << ",\"prove_certificate\":\""
+     << hex_digest(proof.certificate_digest()) << "\"";
+  return os.str();
+}
+
 /// The config-independent part of one cell's row: everything a rerun of the
 /// same (config, code) pair reproduces bit-exactly, and therefore exactly
 /// what the cache stores. No cell index, no axis values — two cells whose
 /// configs collapse to the same canonical form share this fragment.
+///
+/// Three fragment shapes, distinguished by the leading field:
+///   "cycles":...         a simulated cell (plus prove_* annotation columns)
+///   "prove_verdict":...  a statically disproved cell — annotated, never
+///                        simulated (no cycles/state_digest)
+///   "error":"..."        a config the builder rejects — a structured row
+///                        instead of a mid-batch abort
 std::string execute_cell(const IniFile& cfg) {
-  ConfiguredSystem sys(cfg);
+  std::unique_ptr<ConfiguredSystem> sys;
+  try {
+    sys = std::make_unique<ConfiguredSystem>(cfg);
+  } catch (const ModelError& e) {
+    return "\"error\":\"" + json_escape(e.what()) + "\"";
+  }
+
+  // Static screen (src/prove): a disproved cell would simulate a system
+  // with a certified refutation (deadlock cycle, starved port, ID
+  // aliasing) — burn no cycles on it, emit the verdict instead.
+  const ProveReport proof = sys->prove();
+  if (proof.disproved()) {
+    std::ostringstream os;
+    os << prove_fields(proof) << ",\"prove_detail\":\"";
+    bool first = true;
+    for (const ProveCheck& c : proof.checks) {
+      if (c.verdict != ProveVerdict::kDisproved) continue;
+      if (!first) os << "; ";
+      first = false;
+      os << json_escape(c.id + ": " + c.detail);
+    }
+    os << "\"";
+    return os.str();
+  }
+
   // The latency auditor rides along on every cell: its audit_wcrt_* bounds
   // (src/analysis/wcla.hpp) are the sweep's predictability metric, and it
   // forces the serial tick kernel — parallelism lives across cells, never
   // inside one, so rows are independent of AXIHC_BENCH_THREADS. It never
   // touches simulated state, so state digests stay comparable with plain
   // `axihc` runs of the same config.
-  sys.observe_config().latency_audit = true;
-  const Cycle cycles = sys.run();
+  sys->observe_config().latency_audit = true;
+  const Cycle cycles = sys->run();
 
   std::uint64_t total_bytes = 0;
   Cycle read_max = 0;
   Cycle read_p99 = 0;
   Cycle write_max = 0;
-  for (std::size_t i = 0; i < sys.ha_count(); ++i) {
-    const MasterStats& s = sys.ha(i).stats();
+  for (std::size_t i = 0; i < sys->ha_count(); ++i) {
+    const MasterStats& s = sys->ha(i).stats();
     total_bytes += s.bytes_read + s.bytes_written;
     if (s.read_latency.count() > 0) {
       read_max = std::max(read_max, s.read_latency.max());
@@ -87,7 +133,7 @@ std::string execute_cell(const IniFile& cfg) {
     }
   }
 
-  const LatencyAudit* audit = sys.latency_audit();
+  const LatencyAudit* audit = sys->latency_audit();
   AXIHC_CHECK(audit != nullptr);
   // Bound slack: how far the observed worst case stayed below the WCLA
   // bound (1.0 = untouched, 0.0 = at the bound, negative = violated).
@@ -97,15 +143,27 @@ std::string execute_cell(const IniFile& cfg) {
                                 ? 1.0 - audit->max_latency_ratio()
                                 : -1.0;
 
-  const SocConfig& soc_cfg = sys.soc().config();
+  const SocConfig& soc_cfg = sys->soc().config();
   const ResourceUsage res =
       soc_cfg.kind == InterconnectKind::kHyperConnect
           ? estimate_hyperconnect(soc_cfg.hc)
           : estimate_smartconnect(soc_cfg.num_ports);
 
+  // Observed per-port eFIFO peak (watermark enabled by the audit rider):
+  // the prover soundness cross-check compares it against
+  // static_backlog_bound. -1 = no eFIFO structure (SmartConnect).
+  std::int64_t efifo_max = -1;
+  if (const HyperConnect* hc = sys->soc().hyperconnect()) {
+    efifo_max = 0;
+    for (PortIndex p = 0; p < soc_cfg.num_ports; ++p) {
+      efifo_max = std::max(
+          efifo_max, static_cast<std::int64_t>(hc->efifo_peak(p)));
+    }
+  }
+
   std::ostringstream os;
   os << "\"cycles\":" << cycles << ",\"state_digest\":\""
-     << hex_digest(sys.soc().sim().state_digest()) << "\",\"total_bytes\":"
+     << hex_digest(sys->soc().sim().state_digest()) << "\",\"total_bytes\":"
      << total_bytes << ",\"throughput_bpc\":"
      << json_double(cycles > 0 ? static_cast<double>(total_bytes) /
                                      static_cast<double>(cycles)
@@ -117,10 +175,11 @@ std::string execute_cell(const IniFile& cfg) {
      << json_double(wcla_slack) << ",\"lut\":" << res.lut << ",\"ff\":"
      << res.ff << ",\"bram\":" << res.bram << ",\"dsp\":" << res.dsp
      << ",\"ha\":[";
-  for (std::size_t i = 0; i < sys.ha_count(); ++i) {
-    const MasterStats& s = sys.ha(i).stats();
+  for (std::size_t i = 0; i < sys->ha_count(); ++i) {
+    const MasterStats& s = sys->ha(i).stats();
     if (i != 0) os << ",";
-    os << "{\"type\":\"" << json_escape(sys.ha_type(i)) << "\",\"bytes_read\":"
+    os << "{\"type\":\"" << json_escape(sys->ha_type(i))
+       << "\",\"bytes_read\":"
        << s.bytes_read << ",\"bytes_written\":" << s.bytes_written
        << ",\"failed\":" << (s.reads_failed + s.writes_failed)
        << ",\"read_p50\":"
@@ -132,7 +191,7 @@ std::string execute_cell(const IniFile& cfg) {
        << ",\"write_max\":"
        << (s.write_latency.count() > 0 ? s.write_latency.max() : 0) << "}";
   }
-  os << "]";
+  os << "],\"efifo_max\":" << efifo_max << "," << prove_fields(proof);
   return os.str();
 }
 
@@ -150,9 +209,12 @@ bool cache_load(const std::string& path, std::string* fragment) {
   std::ostringstream buf;
   buf << in.rdbuf();
   *fragment = buf.str();
-  // Sanity: a fragment always starts with the cycles field; anything else
+  // Sanity: a fragment always starts with one of the three shape-defining
+  // fields (simulated / statically disproved / build error); anything else
   // (truncated write, foreign file) re-runs the cell.
-  return fragment->rfind("\"cycles\":", 0) == 0;
+  return fragment->rfind("\"cycles\":", 0) == 0 ||
+         fragment->rfind("\"prove_verdict\":", 0) == 0 ||
+         fragment->rfind("\"error\":", 0) == 0;
 }
 
 void cache_store(const std::string& path, const std::string& fragment) {
@@ -300,6 +362,11 @@ SweepSummary run_sweep(const IniFile& ini, const SweepOptions& opts) {
       } else {
         ++summary.executed;
       }
+      if (p.fragment.rfind("\"prove_verdict\":", 0) == 0) {
+        ++summary.disproved;
+      } else if (p.fragment.rfind("\"error\":", 0) == 0) {
+        ++summary.errors;
+      }
       std::ostringstream row;
       row << "{\"cell\":" << p.cell << ",\"sweep\":\""
           << json_escape(spec.name) << "\",\"axes\":" << p.axes_json
@@ -334,11 +401,15 @@ std::size_t check_pins(const std::vector<std::string>& lines,
     const JsonValue* cell = row.find("cell");
     const JsonValue* config = row.find("config");
     const JsonValue* state = row.find("state_digest");
-    AXIHC_CHECK_MSG(cell != nullptr && config != nullptr && state != nullptr,
-                    "sweep row missing cell/config/state_digest");
+    AXIHC_CHECK_MSG(cell != nullptr && config != nullptr,
+                    "sweep row missing cell/config");
+    // Annotation rows (statically disproved cells, build errors) carry no
+    // state digest; against a pinned cell that reads as a state mismatch —
+    // a cell that used to simulate and now doesn't IS a divergence.
     produced.emplace_back(
         static_cast<std::uint64_t>(cell->number),
-        Produced{config->str_or(""), state->str_or("")});
+        Produced{config->str_or(""),
+                 state != nullptr ? state->str_or("") : std::string()});
   }
 
   std::size_t mismatches = 0;

@@ -6,6 +6,7 @@
 //         [--backend scalar|sse2|avx2|auto] [--auto-tune]
 //         [--latency-audit] [--flight-out f.jsonl]
 //   axihc <config.ini> --lint [--lint-strict] [--lint-json f.json]
+//   axihc <config.ini> --prove [--prove-json f.json]
 //   axihc <spec.ini> --campaign [--campaign-out f.jsonl]
 //   axihc <spec.ini> --campaign --campaign-replay N
 //   axihc <spec.ini> --sweep [--sweep-out f.jsonl] [--sweep-cache DIR]
@@ -49,6 +50,14 @@
 // flight-recorder ring (the last [observe] flight_capacity completed
 // transactions) as JSON-lines; it implies --latency-audit.
 //
+// --prove elaborates the system and runs the static predictability
+// certifier (src/prove) with ZERO simulated cycles: deadlock-freedom over
+// the waits-for graph, per-port eFIFO backlog bounds, reservation
+// feasibility/starvation-freedom/ID headroom, and WCLA boundedness
+// classification. Exits nonzero iff any check is disproved. --prove-json
+// writes the machine-readable certificate (plus the code-version digest
+// certificates are cached under in sweeps).
+//
 // --lint elaborates the system, runs the design-rule checker (src/lint) and
 // exits nonzero when any error-severity finding is present. In builds
 // configured with -DAXIHC_PHASE_CHECK=ON it first runs a short simulation
@@ -72,6 +81,7 @@
 #include "config/system_builder.hpp"
 #include "sim/backend.hpp"
 #include "sim/phase_check.hpp"
+#include "sweep/code_version.hpp"
 #include "sweep/report.hpp"
 #include "sweep/runner.hpp"
 
@@ -119,6 +129,7 @@ void usage() {
                "             [--latency-audit] [--flight-out f.jsonl]\n"
                "       axihc <config.ini> --lint [--lint-strict]\n"
                "             [--lint-json f.json]\n"
+               "       axihc <config.ini> --prove [--prove-json f.json]\n"
                "       axihc <spec.ini> --campaign [--campaign-out f.jsonl]\n"
                "       axihc <spec.ini> --campaign --campaign-replay N\n"
                "       axihc <spec.ini> --sweep [--sweep-out f.jsonl]\n"
@@ -172,6 +183,8 @@ int main(int argc, char** argv) {
   bool lint_mode = false;
   bool lint_strict = false;
   std::string lint_json;
+  bool prove_mode = false;
+  std::string prove_json;
   bool campaign_mode = false;
   std::string campaign_out;
   long long campaign_replay = -1;
@@ -218,6 +231,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--lint-json") == 0 && has_value) {
       lint_mode = true;
       lint_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--prove") == 0) {
+      prove_mode = true;
+    } else if (std::strcmp(argv[i], "--prove-json") == 0 && has_value) {
+      prove_mode = true;
+      prove_json = argv[++i];
     } else if (std::strcmp(argv[i], "--campaign") == 0) {
       campaign_mode = true;
     } else if (std::strcmp(argv[i], "--campaign-out") == 0 && has_value) {
@@ -364,7 +382,14 @@ int main(int argc, char** argv) {
                   << sweep_shard_index << "/" << sweep_shard_count << ")";
       }
       std::cerr << ", " << summary.executed << " executed, "
-                << summary.cache_hits << " cache hits\n";
+                << summary.cache_hits << " cache hits";
+      if (summary.disproved != 0) {
+        std::cerr << ", " << summary.disproved << " statically disproved";
+      }
+      if (summary.errors != 0) {
+        std::cerr << ", " << summary.errors << " config errors";
+      }
+      std::cerr << "\n";
       if (!sweep_out.empty()) {
         std::cerr << "axihc: wrote sweep rows to " << sweep_out << "\n";
       }
@@ -433,6 +458,28 @@ int main(int argc, char** argv) {
     }
 
     auto system = axihc::build_system(text.str());
+
+    if (prove_mode) {
+      const axihc::ProveReport proof = system->prove();
+      std::cout << "axihc-prove: " << argv[1] << "\n";
+      proof.write_text(std::cout);
+      if (!prove_json.empty()) {
+        std::ofstream out(prove_json);
+        if (!out) {
+          std::cerr << "axihc: cannot write '" << prove_json << "'\n";
+          return 1;
+        }
+        // The certificate itself is code-version-free (pure function of
+        // the elaborated system); the wrapper adds the digest sweeps cache
+        // certificates under, so an exported file can be matched against
+        // cache entries.
+        out << "{\"code\":\"" << axihc::code_version()
+            << "\",\"certificate\":" << proof.certificate_json() << "}\n";
+        std::cerr << "axihc: wrote prove certificate to " << prove_json
+                  << "\n";
+      }
+      return proof.disproved() ? 1 : 0;
+    }
 
     // Sweep-kernel backend: --auto-tune micro-probes the candidates on this
     // host and picks the fastest; otherwise the request (default: auto =

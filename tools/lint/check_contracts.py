@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Source-level contract scanner for the axihc component model (lint layer 3).
 
-AST-free (regex + brace matching) checks over src/**/*.hpp + the matching
-.cpp files, complementing the runtime access ledger (which only audits code
-that actually executed) with whole-source coverage:
+Checks over src/**/*.hpp + the matching .cpp files, complementing the
+runtime access ledger (which only audits code that actually executed) with
+whole-source coverage:
 
   explicit-tick-scope   every class deriving (transitively) from Component
                         must override tick_scope() somewhere in its
@@ -27,6 +27,17 @@ that actually executed) with whole-source coverage:
                         undeclared-pool-slot check and the AXIHC_PHASE_CHECK
                         write ledger audit.
 
+Two fact collectors feed one shared checker:
+
+  --mode ast     libclang (python `clang` bindings): the class graph, base
+                 specifiers and member types come from a real parse, so
+                 macro-heavy or unusually-formatted declarations cannot slip
+                 past the matcher.
+  --mode regex   the dependency-free fallback: regex + brace matching.
+  --mode auto    (default) ast when the clang bindings and a loadable
+                 libclang are available, regex otherwise — so the check is
+                 never skipped just because the toolchain is minimal.
+
 Suppressions (put the comment inside the class body):
   // contracts: allow-default-scope   -- the implicit kSerial is intentional
   // contracts: allow-no-endpoint     -- channels are private plumbing that
@@ -36,7 +47,7 @@ Suppressions (put the comment inside the class body):
                                          under a Simulator-owned pool)
 
 Exit code: number of violations (0 = clean). Run from anywhere:
-  python3 tools/lint/check_contracts.py [--root <repo>]
+  python3 tools/lint/check_contracts.py [--root <repo>] [--mode auto|ast|regex]
 """
 
 from __future__ import annotations
@@ -68,6 +79,10 @@ OWNED_CHANNEL_RE = re.compile(
 OWNED_POOLED_RE = re.compile(
     r"^\s*(?:mutable\s+)?Pooled(?:Words|Cycle)\s+[A-Za-z_]\w*\s*[;{=]"
 )
+# Member-type names as libclang renders them (qualified or not).
+AST_CHANNEL_TYPE_RE = re.compile(
+    r"\b(?:axihc::)?(?:TimingChannel\s*<|AxiLink\b)")
+AST_POOLED_TYPE_RE = re.compile(r"\b(?:axihc::)?Pooled(?:Words|Cycle)\b")
 
 
 def strip_comments(text: str) -> str:
@@ -103,10 +118,112 @@ def class_bodies(text: str):
                     break
 
 
+class ClassFacts:
+    """What the checker needs to know about one class, however collected."""
+
+    def __init__(self, name: str, path: pathlib.Path):
+        self.name = name
+        self.path = path
+        self.bases: list[str] = []
+        self.declares_tick_scope = False
+        self.owns_channels = False
+        self.owns_pooled = False
+
+
+def collect_regex(src: pathlib.Path) -> dict[str, ClassFacts]:
+    """The dependency-free collector: regex + brace matching."""
+    facts: dict[str, ClassFacts] = {}
+    for path in sorted(src.rglob("*.hpp")):
+        raw = path.read_text(encoding="utf-8")
+        for name, bases, body in class_bodies(strip_comments(raw)):
+            if name in facts:
+                continue  # first definition wins; duplicates are rare
+            f = ClassFacts(name, path)
+            f.bases = bases
+            f.declares_tick_scope = "tick_scope" in body
+            f.owns_channels = any(OWNED_CHANNEL_RE.match(line)
+                                  for line in body.splitlines())
+            f.owns_pooled = any(OWNED_POOLED_RE.match(line)
+                                for line in body.splitlines())
+            facts[name] = f
+    return facts
+
+
+def load_libclang():
+    """Returns a working clang.cindex module, or None with a reason."""
+    try:
+        import clang.cindex as cindex  # noqa: PLC0415 (optional dependency)
+    except ImportError as e:
+        return None, f"python clang bindings unavailable ({e})"
+    try:
+        cindex.Index.create()
+        return cindex, None
+    except Exception as e:  # libclang .so missing / version mismatch
+        return None, f"libclang not loadable ({e})"
+
+
+def collect_ast(src: pathlib.Path, cindex) -> dict[str, ClassFacts]:
+    """The libclang collector: real base specifiers and member types.
+
+    Each header parses standalone with the repo include path; unresolved
+    includes degrade individual types to `int` but never hide a class
+    definition, so the class graph stays complete.
+    """
+    index = cindex.Index.create()
+    args = ["-x", "c++", "-std=c++17", f"-I{src}", "-fsyntax-only"]
+    facts: dict[str, ClassFacts] = {}
+
+    def visit(cursor, path):
+        for child in cursor.get_children():
+            kind = child.kind
+            if kind in (cindex.CursorKind.NAMESPACE,
+                        cindex.CursorKind.UNEXPOSED_DECL,
+                        cindex.CursorKind.LINKAGE_SPEC):
+                visit(child, path)
+                continue
+            if kind not in (cindex.CursorKind.CLASS_DECL,
+                            cindex.CursorKind.STRUCT_DECL,
+                            cindex.CursorKind.CLASS_TEMPLATE):
+                continue
+            if not child.is_definition() or not child.spelling:
+                continue
+            name = child.spelling
+            if name in facts:
+                visit(child, path)  # still recurse for nested classes
+                continue
+            f = ClassFacts(name, path)
+            for node in child.get_children():
+                nk = node.kind
+                if nk == cindex.CursorKind.CXX_BASE_SPECIFIER:
+                    base = node.type.spelling.split("<")[0]
+                    f.bases.append(base.split("::")[-1].strip())
+                elif nk == cindex.CursorKind.CXX_METHOD and \
+                        node.spelling == "tick_scope":
+                    f.declares_tick_scope = True
+                elif nk == cindex.CursorKind.FIELD_DECL:
+                    t = node.type.spelling
+                    if "*" in t or "&" in t:
+                        continue  # views of foreign state
+                    if AST_CHANNEL_TYPE_RE.search(t):
+                        f.owns_channels = True
+                    if AST_POOLED_TYPE_RE.search(t):
+                        f.owns_pooled = True
+            facts[name] = f
+            visit(child, path)  # nested classes
+
+    for path in sorted(src.rglob("*.hpp")):
+        tu = index.parse(str(path), args=args)
+        visit(tu.cursor, path)
+    return facts
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
                         help="repository root (default: two levels up)")
+    parser.add_argument("--mode", choices=("auto", "ast", "regex"),
+                        default="auto",
+                        help="fact collector (auto: ast if libclang works)")
     args = parser.parse_args()
     root = pathlib.Path(args.root) if args.root else \
         pathlib.Path(__file__).resolve().parents[2]
@@ -115,20 +232,29 @@ def main() -> int:
         print(f"check_contracts: no src/ under {root}", file=sys.stderr)
         return 1
 
-    headers = sorted(src.rglob("*.hpp"))
-    raw_texts = {p: p.read_text(encoding="utf-8") for p in headers}
+    mode = args.mode
+    cindex = None
+    if mode in ("auto", "ast"):
+        cindex, why = load_libclang()
+        if cindex is None:
+            # Graceful fallback: an explicit --mode ast degrades with a
+            # warning rather than skipping the check — a missing optional
+            # toolchain must never turn the contract scan off.
+            print(f"check_contracts: AST mode unavailable: {why}; "
+                  f"falling back to regex", file=sys.stderr)
+            mode = "regex"
+        else:
+            mode = "ast"
 
-    # Pass 1: the class graph and per-class facts.
-    bases_of: dict[str, list[str]] = {}
-    body_of: dict[str, str] = {}
-    file_of: dict[str, pathlib.Path] = {}
-    for path, raw in raw_texts.items():
-        for name, bases, body in class_bodies(strip_comments(raw)):
-            if name in bases_of:
-                continue  # first definition wins; duplicates are rare
-            bases_of[name] = bases
-            body_of[name] = body
-            file_of[name] = path
+    if mode == "ast":
+        facts = collect_ast(src, cindex)
+    else:
+        facts = collect_regex(src)
+
+    # Suppression markers and call-site search work on raw text in both
+    # modes (a call site is a textual fact; no parse needed to find it).
+    raw_texts = {p: p.read_text(encoding="utf-8")
+                 for p in sorted(src.rglob("*.hpp"))}
 
     def derives_from_component(name: str, seen=None) -> bool:
         if seen is None:
@@ -136,20 +262,22 @@ def main() -> int:
         if name in seen:
             return False
         seen.add(name)
-        for b in bases_of.get(name, []):
+        for b in facts[name].bases if name in facts else []:
             if b == "Component" or derives_from_component(b, seen):
                 return True
         return False
 
     def chain_declares_tick_scope(name: str) -> bool:
-        if "tick_scope" in body_of.get(name, ""):
+        if name not in facts:
+            return False
+        if facts[name].declares_tick_scope:
             return True
         return any(b != "Component" and chain_declares_tick_scope(b)
-                   for b in bases_of.get(name, []))
+                   for b in facts[name].bases)
 
     def raw_body(name: str) -> str:
         """The class body with comments intact (suppression markers)."""
-        raw = raw_texts[file_of[name]]
+        raw = raw_texts.get(facts[name].path, "")
         for n, _, body in class_bodies(raw):
             if n == name:
                 return body
@@ -157,17 +285,17 @@ def main() -> int:
 
     def impl_text(name: str) -> str:
         """Header text + the sibling .cpp of the class's header, if any."""
-        path = file_of[name]
-        text = raw_texts[path]
+        path = facts[name].path
+        text = raw_texts.get(path, "")
         cpp = path.with_suffix(".cpp")
         if cpp.exists():
             text += cpp.read_text(encoding="utf-8")
         return text
 
     violations = 0
-    components = sorted(n for n in bases_of if derives_from_component(n))
+    components = sorted(n for n in facts if derives_from_component(n))
     for name in components:
-        rel = file_of[name].relative_to(root)
+        rel = facts[name].path.relative_to(root)
         marker_body = raw_body(name)
 
         if not chain_declares_tick_scope(name):
@@ -178,9 +306,7 @@ def main() -> int:
                       f"parallel-tick contract explicitly (kSerial is fine, "
                       f"implicit is not)")
 
-        owns_channels = any(OWNED_CHANNEL_RE.match(line)
-                            for line in body_of[name].splitlines())
-        if owns_channels:
+        if facts[name].owns_channels:
             text = impl_text(name)
             if ("add_endpoint" not in text and "attach_endpoint" not in text
                     and "contracts: allow-no-endpoint" not in marker_body):
@@ -190,9 +316,7 @@ def main() -> int:
                       f"attach_endpoint() — the island partitioner cannot "
                       f"see its channel edges")
 
-        owns_pooled = any(OWNED_POOLED_RE.match(line)
-                          for line in body_of[name].splitlines())
-        if owns_pooled:
+        if facts[name].owns_pooled:
             text = impl_text(name)
             if (("adopt_hot_state" not in text or ".adopt(" not in text)
                     and "contracts: allow-inline-pool" not in marker_body):
@@ -202,8 +326,8 @@ def main() -> int:
                       f"pool (override adopt_hot_state() and call .adopt()) "
                       f"— the slots stay inline and unauditable")
 
-    print(f"check_contracts: {len(components)} Component subclass(es), "
-          f"{violations} violation(s)")
+    print(f"check_contracts ({mode}): {len(components)} Component "
+          f"subclass(es), {violations} violation(s)")
     return violations
 
 
